@@ -1,0 +1,48 @@
+"""Figure 10: cuMF@4GPU vs NOMAD on a 64-node HPC and 32-node AWS cluster."""
+
+from repro.experiments import figure10_series
+from repro.experiments.common import format_table, series_reaches
+
+
+def test_figure10_hugewiki(benchmark, report):
+    series = benchmark.pedantic(
+        figure10_series, kwargs=dict(max_rows=1600, iterations=5, epochs=8), rounds=1, iterations=1
+    )
+    target = series["cumf_4gpu"][-1]["test_rmse"] * 1.02
+    rows = [
+        {
+            "system": "cuMF @ 4 GPUs (1 machine)",
+            "s_per_unit": series["cumf_seconds_per_iteration"],
+            "time_to_target": series_reaches(series["cumf_4gpu"], target),
+        },
+        {
+            "system": "NOMAD @ 64-node HPC",
+            "s_per_unit": series["nomad_hpc64_seconds_per_epoch"],
+            "time_to_target": series_reaches(series["nomad_hpc64"], target),
+        },
+        {
+            "system": "NOMAD @ 32-node AWS",
+            "s_per_unit": series["nomad_aws32_seconds_per_epoch"],
+            "time_to_target": series_reaches(series["nomad_aws32"], target),
+        },
+    ]
+    report("Figure 10 — Hugewiki convergence (full-scale seconds)", format_table(rows))
+    cumf_t, hpc_t, aws_t = (r["time_to_target"] for r in rows)
+    # cuMF converges to its own plateau.
+    assert cumf_t < float("inf")
+
+    def best_rmse_within(points, budget):
+        reached = [p["test_rmse"] for p in points if p["seconds"] <= budget]
+        return min(reached) if reached else float("inf")
+
+    # Shape: within the time budget cuMF needs to converge, the 32-node AWS
+    # cluster has made strictly less progress (the paper's ~10x gap), and the
+    # 64-node HPC cluster is never behind the AWS one.
+    budget = cumf_t
+    cumf_rmse = best_rmse_within(series["cumf_4gpu"], budget)
+    hpc_rmse = best_rmse_within(series["nomad_hpc64"], budget)
+    aws_rmse = best_rmse_within(series["nomad_aws32"], budget)
+    assert cumf_rmse <= aws_rmse + 1e-6
+    assert hpc_rmse <= aws_rmse + 1e-6
+    if hpc_t < float("inf"):
+        assert cumf_t < 2.5 * hpc_t  # "one node plus four GPUs matches a 64-node HPC cluster"

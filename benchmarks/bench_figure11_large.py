@@ -1,0 +1,21 @@
+"""Figure 11: per-iteration latency on the three extreme-scale workloads."""
+
+import math
+
+from repro.experiments import figure11_rows
+from repro.experiments.common import format_table
+
+
+def test_figure11_extreme_scale(benchmark, report):
+    rows = benchmark(figure11_rows)
+    report("Figure 11 — per-iteration time on very large data sets", format_table(rows))
+    by_name = {r["workload"]: r for r in rows}
+    # Shape: cuMF@4GPU beats the 50-node SparkALS and Factorbird deployments.
+    assert by_name["SparkALS"]["cumf_seconds"] < by_name["SparkALS"]["baseline_seconds"]
+    assert by_name["Factorbird"]["cumf_seconds"] < by_name["Factorbird"]["baseline_seconds"]
+    # The f=100 Facebook-sized run (largest problem reported) completes in hours.
+    largest = by_name["cuMF (f=100)"]
+    assert not math.isnan(largest["cumf_seconds"])
+    assert largest["cumf_seconds"] < 6 * 3600.0
+    # And it is the slowest cuMF row (it is the largest problem).
+    assert largest["cumf_seconds"] > by_name["Facebook"]["cumf_seconds"]

@@ -1,0 +1,15 @@
+"""Figure 2 + Table 5: the workload catalogue (sizes and model parameters)."""
+
+from repro.experiments import figure2_rows, table5_rows
+from repro.experiments.common import format_table
+
+
+def test_figure2_and_table5(benchmark, report):
+    rows = benchmark(figure2_rows)
+    report("Figure 2 — scale of MF data sets (Nz vs (m+n)·f)", format_table(rows))
+    report("Table 5 — data sets", format_table(table5_rows()))
+    # cuMF's point must dominate every other workload in both dimensions
+    # (the paper's claim that it tackles the largest problem reported).
+    cumf = next(r for r in rows if r["name"] == "cuMF")
+    assert all(cumf["nz"] >= r["nz"] for r in rows)
+    assert all(cumf["model_parameters"] >= r["model_parameters"] for r in rows)

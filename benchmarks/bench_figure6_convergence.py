@@ -1,0 +1,49 @@
+"""Figure 6: cuMF (1 GPU) vs NOMAD and libMF (30 cores) RMSE convergence."""
+
+import pytest
+
+from repro.experiments import figure6_series
+from repro.experiments.common import format_table, series_reaches
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return figure6_series(max_rows=900, f=16, iterations=6, epochs=8)
+
+
+def test_figure6_convergence(benchmark, panels, report):
+    def summarise():
+        rows = []
+        for panel in panels:
+            target = panel["cumf"][-1]["test_rmse"] * 1.02  # near-converged RMSE level
+            rows.append(
+                {
+                    "dataset": panel["dataset"],
+                    "cumf_s_per_iter": panel["cumf_seconds_per_iteration"],
+                    "sgd_s_per_epoch": panel["sgd_seconds_per_epoch"],
+                    "cumf_time_to_target": series_reaches(panel["cumf"], target),
+                    "libmf_time_to_target": series_reaches(panel["libmf"], target),
+                    "nomad_time_to_target": series_reaches(panel["nomad"], target),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    report("Figure 6 — time to near-converged test RMSE (full-scale seconds)", format_table(rows))
+    for panel, row in zip(panels, rows):
+        # cuMF reaches its converged RMSE level within the run.
+        assert row["cumf_time_to_target"] < float("inf")
+        # Shape: ALS ends at the lowest test RMSE of the three systems — the
+        # SGD baselines may lead early (the paper's "slower at the beginning")
+        # but cuMF is at least as good once converged.
+        cumf_final = panel["cumf"][-1]["test_rmse"]
+        libmf_final = panel["libmf"][-1]["test_rmse"]
+        nomad_final = panel["nomad"][-1]["test_rmse"]
+        assert cumf_final <= min(libmf_final, nomad_final) + 0.02
+
+
+def test_figure6_series_rmse_decreases(panels):
+    for panel in panels:
+        for name in ("cumf", "libmf", "nomad"):
+            series = panel[name]
+            assert series[-1]["test_rmse"] < series[0]["test_rmse"]

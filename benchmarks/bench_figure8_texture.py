@@ -1,0 +1,26 @@
+"""Figure 8: convergence with vs without the texture-memory path."""
+
+from repro.experiments import figure8_series
+from repro.experiments.common import format_table
+
+
+def test_figure8_texture_ablation(benchmark, report):
+    panels = benchmark.pedantic(figure8_series, kwargs=dict(max_rows=800, iterations=5), rounds=1, iterations=1)
+    rows = [
+        {
+            "dataset": p["dataset"],
+            "s_per_iter_with_texture": p["seconds_per_iteration_with"],
+            "s_per_iter_without": p["seconds_per_iteration_without"],
+            "slowdown_without": p["slowdown_without_texture"],
+        }
+        for p in panels
+    ]
+    report("Figure 8 — texture ablation (paper: 25-35% faster with texture)", format_table(rows))
+    for row in rows:
+        assert row["slowdown_without"] > 1.02  # direction: texture always helps
+    # Texture matters less than registers (paper: registers bring the greatest gain).
+    from repro.experiments import figure7_series
+
+    reg = figure7_series(max_rows=400, iterations=2)
+    for reg_panel, tex_panel in zip(reg, panels):
+        assert reg_panel["slowdown_without_registers"] > tex_panel["slowdown_without_texture"]

@@ -1,0 +1,26 @@
+"""Figure 9: SU-ALS scalability on 1, 2 and 4 GPUs."""
+
+from repro.experiments import figure9_series
+from repro.experiments.common import format_table
+
+
+def test_figure9_multi_gpu_scaling(benchmark, report):
+    panels = benchmark.pedantic(
+        figure9_series, kwargs=dict(max_rows=700, iterations=4), rounds=1, iterations=1
+    )
+    rows = []
+    for p in panels:
+        rows.append(
+            {
+                "dataset": p["dataset"],
+                "s_per_iter_1gpu": p["seconds_per_iteration"][1],
+                "s_per_iter_2gpu": p["seconds_per_iteration"][2],
+                "s_per_iter_4gpu": p["seconds_per_iteration"][4],
+                "speedup_2gpu": p["speedup"][2],
+                "speedup_4gpu": p["speedup"][4],
+            }
+        )
+    report("Figure 9 — multi-GPU scaling (paper: ~3.8x on 4 GPUs)", format_table(rows))
+    for row in rows:
+        assert 1.6 < row["speedup_2gpu"] <= 2.05
+        assert 3.0 < row["speedup_4gpu"] <= 4.05

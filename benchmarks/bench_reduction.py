@@ -1,0 +1,25 @@
+"""§4.2 reduction ablation: reduce-to-one vs one-phase vs two-phase schemes."""
+
+from repro.experiments import reduction_rows
+from repro.experiments.common import format_table
+
+
+def test_reduction_schemes(benchmark, report):
+    rows = benchmark(reduction_rows)
+    report(
+        "Parallel reduction ablation on a dual-socket 4-GPU machine "
+        "(paper: parallel 1.7x vs reduce-to-one, two-phase +1.5x)",
+        format_table(rows),
+    )
+    by_name = {r["scheme"]: r for r in rows}
+    assert by_name["one-phase-parallel"]["speedup_vs_reduce_to_one"] > 1.3
+    assert by_name["two-phase-topology"]["speedup_vs_one_phase"] > 1.2
+    assert by_name["two-phase-topology"]["total_seconds"] < by_name["reduce-to-one"]["total_seconds"]
+
+
+def test_reduction_flat_topology_degenerates(benchmark, report):
+    rows = benchmark.pedantic(reduction_rows, kwargs=dict(dual_socket=False), rounds=1, iterations=1)
+    by_name = {r["scheme"]: r for r in rows}
+    report("Reduction ablation on a flat single-socket topology", format_table(rows))
+    # Without a socket hierarchy the two-phase scheme cannot beat one-phase.
+    assert by_name["two-phase-topology"]["total_seconds"] >= by_name["one-phase-parallel"]["total_seconds"] * 0.99

@@ -1,0 +1,28 @@
+"""Benchmark-harness configuration.
+
+Adds the in-tree ``src`` layout to ``sys.path`` (mirrors the repository
+conftest) so ``pytest benchmarks/ --benchmark-only`` works from a clean
+checkout, and provides a tiny helper for printing the regenerated
+tables/series next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a titled block once per benchmark (kept visible with -s)."""
+
+    def _print(title: str, body: str) -> None:
+        print(f"\n=== {title} ===\n{body}\n")
+
+    return _print

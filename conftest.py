@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the in-tree ``src`` layout importable even when the package has not
+been pip-installed (useful on offline machines where editable installs
+need ``--no-build-isolation``; see README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: factorize a synthetic rating matrix with cuMF's MO-ALS.
+
+Generates a Netflix-shaped (but laptop-sized) rating matrix, trains the
+memory-optimized single-GPU solver for ten iterations, reports RMSE per
+iteration alongside the simulated GPU seconds, and prints a few
+recommendations for one user.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import ALSConfig, CuMF
+from repro.datasets import NETFLIX, generate_ratings
+
+
+def main() -> None:
+    # A scaled-down Netflix-like workload: same per-row density character,
+    # small enough to factorize in seconds.
+    spec = NETFLIX.scaled(max_rows=2000, f=16)
+    print(f"workload: {spec}")
+    data = generate_ratings(spec, seed=0, noise_sigma=0.3)
+    print(f"training ratings: {data.train.nnz:,}  test ratings: {data.test.nnz:,}")
+
+    config = ALSConfig(f=16, lam=0.05, iterations=10, seed=1)
+    model = CuMF(config, backend="mo")  # Algorithm 2, one simulated GPU
+    result = model.fit(data.train, data.test)
+
+    print("\niter  train RMSE  test RMSE   simulated seconds (cumulative)")
+    for stats in result.history:
+        print(
+            f"{stats.iteration:>4}  {stats.train_rmse:>10.4f}  {stats.test_rmse:>9.4f}"
+            f"   {stats.cumulative_seconds:>12.4f}"
+        )
+    print(f"\nfinal test RMSE: {result.final_test_rmse:.4f} (noise floor ≈ {data.rmse_floor():.2f})")
+
+    user = 0
+    recs = model.recommend(user, k=5, exclude=data.train)
+    print(f"\ntop-5 recommendations for user {user}:")
+    for item, score in recs:
+        print(f"  item {item:>5}  predicted rating {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

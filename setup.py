@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e .`) on interpreters where PEP 660
+editable wheels cannot be built because `wheel` is unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""From-scratch implementations of the systems cuMF is compared against.
+
+§5 and §6 of the paper reference six families of competitors.  Each gets a
+real (runnable) algorithmic implementation here, so the convergence
+comparisons of Figures 6 and 10 are genuine optimisation runs rather than
+digitised curves:
+
+* :mod:`repro.baselines.sgd_hogwild` — libMF-style block-partitioned
+  parallel SGD on one multi-core machine (also the HOGWILD!/DSGD family);
+* :mod:`repro.baselines.nomad` — NOMAD's asynchronous column-token SGD;
+* :mod:`repro.baselines.ccd` — CCD++ cyclic coordinate descent;
+* :mod:`repro.baselines.pals` — PALS: ALS with full Θ replication;
+* :mod:`repro.baselines.spark_als` — SparkALS: ALS with per-partition Θ
+  subsets (and the communication-volume accounting that distinguishes it);
+* :mod:`repro.baselines.cost_model` — the node-hour price arithmetic of
+  Table 1.
+"""
+
+from repro.baselines.sgd_hogwild import ParallelSGD, SGDConfig
+from repro.baselines.nomad import NomadSGD
+from repro.baselines.ccd import CCDPlusPlus
+from repro.baselines.pals import PALS
+from repro.baselines.spark_als import SparkALS, theta_shipping_volume
+from repro.baselines.cost_model import CostEntry, cost_of_run, table1_entries
+
+__all__ = [
+    "SGDConfig",
+    "ParallelSGD",
+    "NomadSGD",
+    "CCDPlusPlus",
+    "PALS",
+    "SparkALS",
+    "theta_shipping_volume",
+    "CostEntry",
+    "cost_of_run",
+    "table1_entries",
+]

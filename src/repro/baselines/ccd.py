@@ -1,0 +1,90 @@
+"""CCD++ — cyclic coordinate descent for matrix factorization [32].
+
+CCD++ updates one latent dimension at a time: with all other dimensions
+fixed, the rank-one subproblem for feature ``k`` has the closed form
+
+``x_uk ← (Σ_v R̂_uv θ_vk) / (λ n_{x_u} + Σ_v θ_vk²)``
+
+over the residual ``R̂ = R − X Θᵀ + x_k θ_kᵀ``.  The paper cites CCD++ as
+having lower per-iteration complexity than ALS but making less progress
+per iteration ("behaves well in the early stage, then becomes slower than
+libMF"), which is the behaviour the convergence benches compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FitResult, IterationStats
+from repro.core.metrics import rmse
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import sampled_residual
+
+__all__ = ["CCDPlusPlus"]
+
+
+class CCDPlusPlus:
+    """CCD++ with the one-dimension-at-a-time (rank-one) update order."""
+
+    name = "ccd++"
+
+    def __init__(self, f: int = 16, lam: float = 0.05, iterations: int = 10, inner_sweeps: int = 1, seed: int = 0):
+        if f <= 0 or iterations < 0 or inner_sweeps < 1:
+            raise ValueError("f positive, iterations non-negative, inner_sweeps >= 1")
+        self.f = f
+        self.lam = lam
+        self.iterations = iterations
+        self.inner_sweeps = inner_sweeps
+        self.seed = seed
+
+    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None) -> FitResult:
+        """Run CCD++; one iteration sweeps all ``f`` rank-one subproblems."""
+        m, n = train.shape
+        rng = np.random.default_rng(self.seed)
+        x = rng.random((m, self.f)) * 0.1
+        theta = rng.random((n, self.f)) * 0.1
+
+        rows = train.row_ids()
+        cols = train.indices
+        n_xu = train.nnz_per_row().astype(np.float64)
+        n_tv = train.nnz_per_col().astype(np.float64)
+
+        # Residual at the observed entries, maintained incrementally.
+        residual = sampled_residual(train, x, theta)
+
+        import time as _time
+
+        history: list[IterationStats] = []
+        cumulative = 0.0
+        for it in range(1, self.iterations + 1):
+            wall0 = _time.perf_counter()
+            for _ in range(self.inner_sweeps):
+                for k in range(self.f):
+                    xk = x[:, k]
+                    tk = theta[:, k]
+                    # Add the rank-one term back: R_hat = residual + x_k θ_kᵀ (at observed entries).
+                    rhat = residual + xk[rows] * tk[cols]
+                    # Update x_k with θ_k fixed.
+                    numer_x = np.bincount(rows, weights=rhat * tk[cols], minlength=m)
+                    denom_x = self.lam * n_xu + np.bincount(rows, weights=tk[cols] ** 2, minlength=m)
+                    new_xk = np.divide(numer_x, denom_x, out=np.zeros(m), where=denom_x > 0)
+                    # Update θ_k with the new x_k fixed.
+                    numer_t = np.bincount(cols, weights=rhat * new_xk[rows], minlength=n)
+                    denom_t = self.lam * n_tv + np.bincount(cols, weights=new_xk[rows] ** 2, minlength=n)
+                    new_tk = np.divide(numer_t, denom_t, out=np.zeros(n), where=denom_t > 0)
+                    # Fold the updated rank-one term back into the residual.
+                    residual = rhat - new_xk[rows] * new_tk[cols]
+                    x[:, k] = new_xk
+                    theta[:, k] = new_tk
+            seconds = _time.perf_counter() - wall0
+            cumulative += seconds
+            history.append(
+                IterationStats(
+                    iteration=it,
+                    train_rmse=rmse(train, x, theta),
+                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
+                    seconds=seconds,
+                    cumulative_seconds=cumulative,
+                )
+            )
+        return FitResult(x=x, theta=theta, history=history, solver=self.name, config=None)

@@ -1,0 +1,51 @@
+"""PALS — parallel ALS with full Θ replication (Zhou et al. [35]).
+
+PALS partitions X and R by rows across workers and *replicates the whole
+Θᵀ on every worker* (§2.2).  Numerically it is plain ALS; what
+distinguishes it is the communication/memory profile: the replication is
+only feasible while Θ is small, and its per-iteration broadcast volume is
+``workers · n · f`` floats.  This class runs the real ALS numerics and
+reports that communication volume so the SparkALS comparison (which ships
+only the needed subsets) can be made quantitative.
+"""
+
+from __future__ import annotations
+
+from repro.core.als_base import BaseALS
+from repro.core.config import ALSConfig, FitResult
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["PALS"]
+
+FLOAT_BYTES = 4
+
+
+class PALS:
+    """Row-partitioned ALS with full factor replication."""
+
+    name = "pals"
+
+    def __init__(self, config: ALSConfig, workers: int = 8):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config
+        self.workers = workers
+
+    def broadcast_bytes_per_iteration(self, n_cols: int, m_rows: int) -> float:
+        """Bytes broadcast per iteration: full Θ to every worker for the
+        update-X half, full X to every worker for the update-Θ half."""
+        return float(self.workers) * (n_cols + m_rows) * self.config.f * FLOAT_BYTES
+
+    def replica_memory_floats(self, n_cols: int) -> float:
+        """Per-worker floats needed just for the replicated Θ."""
+        return float(n_cols) * self.config.f
+
+    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None) -> FitResult:
+        """Run the (numerically standard) ALS iterations."""
+        result = BaseALS(self.config).fit(train, test)
+        result.solver = self.name
+        result.breakdown = {
+            "broadcast_bytes_per_iteration": self.broadcast_bytes_per_iteration(train.shape[1], train.shape[0]),
+            "replica_memory_floats": self.replica_memory_floats(train.shape[1]),
+        }
+        return result

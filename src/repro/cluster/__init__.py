@@ -1,0 +1,41 @@
+"""Analytical model of the distributed CPU systems cuMF is compared against.
+
+The paper's large-scale comparisons (Table 1, Figures 10-11) pit one GPU
+machine against clusters we cannot rent for this reproduction: NOMAD on
+32/64 nodes, Spark MLlib ALS on 50 × m3.2xlarge, Factorbird on 50
+parameter-server nodes, and Facebook's 50 Giraph workers.  This package
+models those systems from first principles — per-node compute / memory /
+network capability, cloud prices, and the per-iteration (or per-epoch)
+data movement each system's algorithm implies — so the comparison can be
+regenerated without the hardware.
+"""
+
+from repro.cluster.nodes import (
+    AWS_C3_2XLARGE,
+    AWS_M3_2XLARGE,
+    AWS_M3_XLARGE,
+    GPU_MACHINE_SOFTLAYER,
+    HPC_NODE,
+    ClusterSpec,
+    NodeSpec,
+)
+from repro.cluster.perf import (
+    distributed_als_iteration_time,
+    distributed_sgd_epoch_time,
+    parameter_server_epoch_time,
+    rotation_als_iteration_time,
+)
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "AWS_M3_XLARGE",
+    "AWS_M3_2XLARGE",
+    "AWS_C3_2XLARGE",
+    "HPC_NODE",
+    "GPU_MACHINE_SOFTLAYER",
+    "distributed_als_iteration_time",
+    "distributed_sgd_epoch_time",
+    "parameter_server_epoch_time",
+    "rotation_als_iteration_time",
+]

@@ -1,0 +1,111 @@
+"""Node and cluster descriptions for the distributed CPU baselines.
+
+Prices are the on-demand AWS prices the paper quotes in Table 1
+($0.27 m3.xlarge, $0.53 m3.2xlarge, $0.42 c3.2xlarge per node-hour) and
+the $2.44/hour amortised cost of the Softlayer GPU machine.  Hardware
+figures are from the corresponding AWS instance documentation of the era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "AWS_M3_XLARGE",
+    "AWS_M3_2XLARGE",
+    "AWS_C3_2XLARGE",
+    "HPC_NODE",
+    "GPU_MACHINE_SOFTLAYER",
+]
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: compute, memory system, network, and price."""
+
+    name: str
+    cores: int
+    ghz: float
+    flops_per_cycle: float
+    memory_gib: float
+    memory_bw: float
+    network_bw: float
+    price_per_hour: float
+    compute_efficiency: float = 0.30
+    random_access_efficiency: float = 0.25
+
+    @property
+    def effective_gflops(self) -> float:
+        """Sustained GFLOP/s for the MF inner loops."""
+        return self.cores * self.ghz * self.flops_per_cycle * self.compute_efficiency
+
+    @property
+    def streaming_bw(self) -> float:
+        """Sustained sequential memory bandwidth (bytes/s)."""
+        return self.memory_bw
+
+    @property
+    def random_bw(self) -> float:
+        """Effective bandwidth of latency-bound random factor accesses."""
+        return self.memory_bw * self.random_access_efficiency
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``nodes`` × ``node``."""
+
+    node: NodeSpec
+    nodes: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+
+    @property
+    def effective_gflops(self) -> float:
+        """Aggregate sustained GFLOP/s."""
+        return self.node.effective_gflops * self.nodes
+
+    @property
+    def aggregate_memory_bw(self) -> float:
+        """Aggregate streaming memory bandwidth."""
+        return self.node.streaming_bw * self.nodes
+
+    @property
+    def aggregate_random_bw(self) -> float:
+        """Aggregate random-access bandwidth."""
+        return self.node.random_bw * self.nodes
+
+    @property
+    def bisection_bw(self) -> float:
+        """Approximate bisection bandwidth of the interconnect."""
+        return self.node.network_bw * self.nodes / 2.0
+
+    def hourly_cost(self) -> float:
+        """Cluster price per hour."""
+        return self.node.price_per_hour * self.nodes
+
+    def cost_of(self, seconds: float) -> float:
+        """Monetary cost of running the whole cluster for ``seconds``."""
+        return self.hourly_cost() * seconds / 3600.0
+
+
+#: AWS m3.xlarge (4 vCPU, 15 GiB, "high" network ≈ 0.7 Gbit/s usable) — NOMAD's node.
+AWS_M3_XLARGE = NodeSpec("m3.xlarge", cores=4, ghz=2.5, flops_per_cycle=8, memory_gib=15, memory_bw=25 * GB, network_bw=0.09 * GB, price_per_hour=0.27, random_access_efficiency=0.12)
+
+#: AWS m3.2xlarge (8 vCPU, 30 GiB) — SparkALS's node.
+AWS_M3_2XLARGE = NodeSpec("m3.2xlarge", cores=8, ghz=2.5, flops_per_cycle=8, memory_gib=30, memory_bw=40 * GB, network_bw=0.12 * GB, price_per_hour=0.53)
+
+#: AWS c3.2xlarge (8 vCPU, 15 GiB) — the node type closest to Factorbird's.
+AWS_C3_2XLARGE = NodeSpec("c3.2xlarge", cores=8, ghz=2.8, flops_per_cycle=8, memory_gib=15, memory_bw=40 * GB, network_bw=0.12 * GB, price_per_hour=0.42)
+
+#: A 16-core HPC-cluster node with a fast interconnect (NOMAD's 64-node HPC runs).
+HPC_NODE = NodeSpec("hpc-node", cores=16, ghz=2.7, flops_per_cycle=8, memory_gib=64, memory_bw=60 * GB, network_bw=3.0 * GB, price_per_hour=1.20)
+
+#: The paper's GPU machine: 1 node, 2 × K80, amortised $2.44/hour.
+GPU_MACHINE_SOFTLAYER = NodeSpec("softlayer-2xK80", cores=24, ghz=2.6, flops_per_cycle=8, memory_gib=256, memory_bw=100 * GB, network_bw=1.25 * GB, price_per_hour=2.44)

@@ -1,0 +1,41 @@
+"""Inter-GPU communication schemes (reductions and collectives).
+
+This package implements the three ways §4.2 considers for combining the
+per-GPU partial Hermitians ``A^(ij)`` / right-hand sides ``B^(ij)`` that
+data parallelism produces:
+
+* :class:`~repro.comm.reduction.ReduceToOne` — the naive scheme (one GPU
+  pulls everything and solves alone);
+* :class:`~repro.comm.reduction.OnePhaseParallelReduction` — Figure 5a:
+  every GPU owns 1/p of the rows and pulls that slice from all peers, so
+  every PCIe lane is used in both directions simultaneously;
+* :class:`~repro.comm.reduction.TwoPhaseTopologyReduction` — Figure 5b:
+  partials are first reduced inside each socket, and only the pre-reduced
+  slices cross the slower inter-socket link.
+
+All schemes share the same numerics (:func:`numeric_reduce`); they differ
+only in the transfer batches they schedule, and therefore in simulated
+time.
+"""
+
+from repro.comm.reduction import (
+    OnePhaseParallelReduction,
+    ReduceToOne,
+    ReductionScheme,
+    TwoPhaseTopologyReduction,
+    numeric_reduce,
+    numeric_reduce_partitioned,
+)
+from repro.comm.collective import broadcast_plan, gather_plan, scatter_plan
+
+__all__ = [
+    "ReductionScheme",
+    "ReduceToOne",
+    "OnePhaseParallelReduction",
+    "TwoPhaseTopologyReduction",
+    "numeric_reduce",
+    "numeric_reduce_partitioned",
+    "scatter_plan",
+    "gather_plan",
+    "broadcast_plan",
+]

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: cuMF's ALS solvers.
+
+Three solver classes mirror the paper's three algorithm levels:
+
+* :class:`~repro.core.als_base.BaseALS` — Algorithm 1, the straightforward
+  ALS formulation in plain NumPy; the numerical reference everything else
+  is property-tested against.
+* :class:`~repro.core.als_mo.MemoryOptimizedALS` — Algorithm 2 (MO-ALS):
+  the same numerics driven through the simulated GPU, with the texture /
+  shared-bin / register optimisations exposed as configuration switches so
+  the Figure 7/8 ablations can be reproduced.
+* :class:`~repro.core.als_su.ScaleUpALS` — Algorithm 3 (SU-ALS): model +
+  data parallelism across a multi-GPU machine with a pluggable reduction
+  scheme (Figure 5) and the eq.-8 partition planner.
+
+:class:`~repro.core.trainer.CuMF` is the user-facing facade that picks a
+solver, runs the alternating iterations, tracks RMSE and simulated time,
+and offers prediction/recommendation helpers.
+"""
+
+from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.metrics import objective_value, rmse
+from repro.core.hermitian import (
+    batch_solve,
+    compute_hermitians,
+    compute_hermitians_loop,
+    update_factor,
+)
+from repro.core.kernels import batch_solve_profile, get_hermitian_profile, transfer_bytes
+from repro.core.als_base import BaseALS
+from repro.core.als_mo import MemoryOptimizedALS
+from repro.core.als_su import ScaleUpALS
+from repro.core.partition_planner import PartitionPlan, plan_partitions
+from repro.core.outofcore import OutOfCoreScheduler
+from repro.core.checkpoint import CheckpointManager
+from repro.core.sgd import sgd_epoch
+from repro.core.trainer import CuMF
+
+__all__ = [
+    "ALSConfig",
+    "IterationStats",
+    "FitResult",
+    "rmse",
+    "objective_value",
+    "compute_hermitians",
+    "compute_hermitians_loop",
+    "batch_solve",
+    "update_factor",
+    "get_hermitian_profile",
+    "batch_solve_profile",
+    "transfer_bytes",
+    "BaseALS",
+    "MemoryOptimizedALS",
+    "ScaleUpALS",
+    "PartitionPlan",
+    "plan_partitions",
+    "OutOfCoreScheduler",
+    "CheckpointManager",
+    "sgd_epoch",
+    "CuMF",
+]

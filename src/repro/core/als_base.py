@@ -1,0 +1,80 @@
+"""Algorithm 1: the base ALS solver (numerical reference).
+
+``BaseALS`` runs the alternating updates in plain NumPy with no device
+simulation; its timing column is host wall-clock.  Every other solver in
+the package must produce (numerically) the same factors — that invariant
+is what the property-based tests check.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.hermitian import update_factor
+from repro.core.metrics import objective_value, rmse
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["BaseALS", "init_factors"]
+
+
+def init_factors(m: int, n: int, config: ALSConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Random factor initialisation (paper §5.1: uniform in [0, 1])."""
+    rng = np.random.default_rng(config.seed)
+    x = rng.random((m, config.f)) * config.init_scale
+    theta = rng.random((n, config.f)) * config.init_scale
+    return x.astype(np.float64), theta.astype(np.float64)
+
+
+class BaseALS:
+    """Straightforward ALS: update X with Θ fixed, then Θ with X fixed."""
+
+    name = "base-als"
+
+    def __init__(self, config: ALSConfig):
+        self.config = config
+
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+        compute_objective: bool = False,
+    ) -> FitResult:
+        """Run ``config.iterations`` alternating updates.
+
+        ``x0`` / ``theta0`` override the random initialisation (used by the
+        checkpoint-restart path and by tests that need identical starting
+        points across solvers).
+        """
+        cfg = self.config
+        m, n = train.shape
+        x, theta = init_factors(m, n, cfg)
+        if x0 is not None:
+            x = np.array(x0, dtype=np.float64, copy=True)
+        if theta0 is not None:
+            theta = np.array(theta0, dtype=np.float64, copy=True)
+
+        train_t = train.to_csc().transpose_csr()  # R^T in CSR layout, for update-Θ
+        history: list[IterationStats] = []
+        cumulative = 0.0
+        for it in range(1, cfg.iterations + 1):
+            started = time.perf_counter()
+            x = update_factor(train, theta, cfg.lam, row_batch=cfg.row_batch)
+            theta = update_factor(train_t, x, cfg.lam, row_batch=cfg.row_batch)
+            seconds = time.perf_counter() - started
+            cumulative += seconds
+            history.append(
+                IterationStats(
+                    iteration=it,
+                    train_rmse=rmse(train, x, theta),
+                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
+                    seconds=seconds,
+                    cumulative_seconds=cumulative,
+                    objective=objective_value(train, x, theta, cfg.lam) if compute_objective else float("nan"),
+                )
+            )
+        return FitResult(x=x, theta=theta, history=history, solver=self.name, config=cfg)

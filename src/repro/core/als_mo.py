@@ -1,0 +1,159 @@
+"""Algorithm 2: MO-ALS, the memory-optimized single-GPU solver.
+
+The numerics are identical to :class:`~repro.core.als_base.BaseALS`; what
+changes is that every update pass is *executed through the simulated GPU*:
+
+* the factor matrices and the rating matrix are allocated in (simulated)
+  device global memory, so a problem that does not fit raises
+  ``OutOfDeviceMemory`` exactly like a real 12 GB card (the paper's stated
+  limitation of MO-ALS, §3.4 end);
+* each row block becomes one ``get_hermitian`` + one ``batch_solve``
+  kernel launch whose traffic depends on the three optimisation switches
+  (``use_texture``, ``use_registers``, ``bin_size``);
+* the convergence history therefore carries *simulated* seconds, which is
+  what the Figure 6/7/8 curves plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.als_base import init_factors
+from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.hermitian import batch_solve, compute_hermitians
+from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
+from repro.core.metrics import objective_value, rmse
+from repro.core.partition_planner import plan_partitions
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.memory import MemoryKind, OutOfDeviceMemory
+from repro.gpu.specs import TITAN_X, DeviceSpec
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["MemoryOptimizedALS"]
+
+
+class MemoryOptimizedALS:
+    """MO-ALS on one simulated GPU."""
+
+    name = "mo-als"
+
+    def __init__(
+        self,
+        config: ALSConfig,
+        machine: MultiGPUMachine | None = None,
+        spec: DeviceSpec = TITAN_X,
+    ):
+        self.config = config
+        self.machine = machine or MultiGPUMachine(n_gpus=1, spec=spec)
+        if self.machine.n_gpus != 1:
+            raise ValueError("MO-ALS is the single-GPU solver; use ScaleUpALS for multi-GPU machines")
+        self.device = self.machine.device(0)
+
+    # ------------------------------------------------------------------ #
+    def _check_and_allocate(self, m: int, n: int, nz: int) -> None:
+        """Reserve device memory for Θ, X, R and the per-batch Hermitians.
+
+        MO-ALS requires the *fixed* factor (Θ when updating X, X when
+        updating Θ) to be resident in its entirety (§3.4: "Algorithm 2 is
+        able to deal with big X with one GPU, as long as Θ can fit into
+        it").  The solved factor and R can be streamed in batches.
+        """
+        f = self.config.f
+        self.device.reset_memory()
+        cap = self.device.memory[MemoryKind.GLOBAL]
+        theta_bytes = n * f * FLOAT_BYTES
+        x_bytes = m * f * FLOAT_BYTES
+        r_bytes = (2 * nz + m + 1) * FLOAT_BYTES
+        if not cap.would_fit(theta_bytes):
+            raise OutOfDeviceMemory(cap, theta_bytes)
+        self.device.allocate("theta", theta_bytes, MemoryKind.GLOBAL)
+        # X and R are loaded in batches when they do not fit wholesale.
+        self.device.allocate("x", min(x_bytes, cap.free_bytes // 2), MemoryKind.GLOBAL)
+        self.device.allocate("r_csr", min(r_bytes, max(cap.free_bytes - 256 * 1024 * 1024, 0)), MemoryKind.GLOBAL)
+
+    def _plan_row_batches(self, rows: int, other_dim: int, nz: int) -> int:
+        """Number of row batches (q of eq. 8 with p = 1) for one update pass."""
+        plan = plan_partitions(
+            m=rows,
+            n=other_dim,
+            nz=nz,
+            f=self.config.f,
+            capacity_bytes=self.device.spec.global_bytes,
+            n_gpus=1,
+        )
+        return max(1, plan.q)
+
+    def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
+        """One update pass (update-X when ``fixed`` is Θ, update-Θ when it is X)."""
+        cfg = self.config
+        rows, other = r.shape
+        q = self._plan_row_batches(rows, other, r.nnz)
+        batch_rows = max(1, -(-rows // q))
+        batch_rows = min(batch_rows, cfg.row_batch) if rows > cfg.row_batch else batch_rows
+        out = np.zeros((rows, cfg.f), dtype=np.float64)
+
+        for start in range(0, rows, batch_rows):
+            stop = min(start + batch_rows, rows)
+            block_nnz = int(r.indptr[stop] - r.indptr[start])
+            # --- simulated execution --------------------------------------
+            herm = get_hermitian_profile(
+                self.device.spec, stop - start, block_nnz, other, cfg, name=f"get_hermitian_{label}"
+            )
+            solve = batch_solve_profile(stop - start, cfg.f, name=f"batch_solve_{label}")
+            self.machine.clock.advance(self.device.execute(herm, use_texture=cfg.use_texture), label=f"get_hermitian_{label}")
+            self.machine.clock.advance(self.device.execute(solve), label=f"batch_solve_{label}")
+            # --- numerics --------------------------------------------------
+            a, b = compute_hermitians(r, fixed, cfg.lam, start, stop)
+            out[start:stop] = batch_solve(a, b)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+        compute_objective: bool = False,
+    ) -> FitResult:
+        """Run MO-ALS; the history carries simulated seconds."""
+        cfg = self.config
+        m, n = train.shape
+        x, theta = init_factors(m, n, cfg)
+        if x0 is not None:
+            x = np.array(x0, dtype=np.float64, copy=True)
+        if theta0 is not None:
+            theta = np.array(theta0, dtype=np.float64, copy=True)
+
+        self._check_and_allocate(m, n, train.nnz)
+        train_t = train.to_csc().transpose_csr()
+
+        # Initial host→device load of Θ, X and R (charged once; further
+        # iterations reuse the resident copies).
+        initial_bytes = (n * cfg.f + m * cfg.f + 2 * train.nnz + m + 1) * FLOAT_BYTES
+        self.machine.run_transfers([self.machine.h2d(0, initial_bytes, tag="initial-load")], label="h2d")
+
+        history: list[IterationStats] = []
+        for it in range(1, cfg.iterations + 1):
+            t0 = self.machine.elapsed_seconds()
+            x = self._update_pass(train, theta, label="x")
+            theta = self._update_pass(train_t, x, label="theta")
+            seconds = self.machine.elapsed_seconds() - t0
+            history.append(
+                IterationStats(
+                    iteration=it,
+                    train_rmse=rmse(train, x, theta),
+                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
+                    seconds=seconds,
+                    cumulative_seconds=self.machine.elapsed_seconds(),
+                    objective=objective_value(train, x, theta, cfg.lam) if compute_objective else float("nan"),
+                )
+            )
+        return FitResult(
+            x=x,
+            theta=theta,
+            history=history,
+            solver=self.name,
+            config=cfg,
+            breakdown=self.machine.clock.breakdown(),
+        )

@@ -1,0 +1,265 @@
+"""Algorithm 3: SU-ALS, the scale-up multi-GPU solver.
+
+SU-ALS adds **data parallelism** to the model parallelism of MO-ALS:
+
+* Θᵀ is split vertically into ``p`` partitions, one resident on each GPU
+  (lines 2, 5-7);
+* X is split horizontally into ``q`` batches solved in sequence (line 8);
+* R is grid partitioned into ``p × q`` blocks (line 4);
+* for batch ``j``, GPU ``i`` computes *local* Hermitians from only its
+  Θ partition and R block (line 11, eq. 5-7), the partials are combined
+  with a parallel reduction (lines 13-16, Figure 5), and each GPU solves
+  the slice of rows it reduced (line 17).
+
+Numerically the result is identical to MO-ALS/Base-ALS because the
+weighted-λ term distributes over the partial sums
+(``Σ_i λ n_u^{(i)} I = λ n_u I``); the tests assert this.  Simulated time
+differs: kernels run concurrently across GPUs and the reduction cost
+depends on the selected :class:`~repro.comm.reduction.ReductionScheme` and
+the machine topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.collective import scatter_plan
+from repro.comm.reduction import ReductionScheme, TwoPhaseTopologyReduction, numeric_reduce
+from repro.core.als_base import init_factors
+from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.hermitian import batch_solve, compute_hermitians
+from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
+from repro.core.metrics import objective_value, rmse
+from repro.core.partition_planner import plan_partitions
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.specs import TITAN_X, DeviceSpec
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import Partition1D, grid_partition
+
+__all__ = ["ScaleUpALS"]
+
+
+class ScaleUpALS:
+    """SU-ALS across a (simulated) multi-GPU machine."""
+
+    name = "su-als"
+
+    def __init__(
+        self,
+        config: ALSConfig,
+        machine: MultiGPUMachine | None = None,
+        n_gpus: int = 4,
+        spec: DeviceSpec = TITAN_X,
+        reduction: ReductionScheme | None = None,
+        q_override: int | None = None,
+        force_data_parallel: bool = False,
+    ):
+        self.config = config
+        self.machine = machine or MultiGPUMachine(n_gpus=n_gpus, spec=spec)
+        self.reduction = reduction or TwoPhaseTopologyReduction()
+        self.q_override = q_override
+        # Force the grid-partition + reduction path even when the fixed
+        # factor would fit on one GPU (used by tests and the reduction
+        # ablation, which need the data-parallel machinery on small data).
+        self.force_data_parallel = force_data_parallel
+
+    @property
+    def p(self) -> int:
+        """Data-parallel width: one Θ partition per GPU."""
+        return self.machine.n_gpus
+
+    # ------------------------------------------------------------------ #
+    def _choose_q(self, rows: int, other: int, nz: int) -> int:
+        """Number of model-parallel batches for one update pass (eq. 8)."""
+        if self.q_override is not None:
+            return max(1, self.q_override)
+        plan = plan_partitions(
+            m=rows,
+            n=other,
+            nz=nz,
+            f=self.config.f,
+            capacity_bytes=self.machine.spec.global_bytes,
+            n_gpus=self.p,
+        )
+        return max(1, plan.q)
+
+    def needs_data_parallelism(self, fixed_rows: int) -> bool:
+        """Whether the *fixed* factor is too big to replicate on every GPU.
+
+        §5.4: when both X and Θ fit on one GPU "only model parallelism is
+        needed"; data parallelism (and its reduction) is reserved for the
+        pass whose fixed factor — X when solving Θ on Hugewiki, for example
+        — cannot be replicated.
+        """
+        fixed_bytes = fixed_rows * self.config.f * FLOAT_BYTES
+        return fixed_bytes > 0.45 * self.machine.spec.global_bytes
+
+    def _model_parallel_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
+        """Model parallelism only: rows are split across GPUs, Θ replicated.
+
+        This is the PALS-style scheme cuMF falls back to whenever the fixed
+        factor fits on every device (Netflix / YahooMusic in Figure 9): no
+        inter-GPU reduction is required, so the speedup is bounded only by
+        PCIe contention on the shared host links.
+        """
+        cfg = self.config
+        p = self.p
+        rows, other = r.shape
+        row_part = Partition1D(rows, p)
+
+        # Replicate the fixed factor on every GPU (concurrent host→device).
+        fixed_bytes = other * cfg.f * FLOAT_BYTES
+        self.machine.run_transfers(
+            [self.machine.h2d(i, fixed_bytes, tag=f"fixed-bcast-{label}") for i in range(p)], label="scatter"
+        )
+        # Stream each GPU's row slice of R.
+        self.machine.run_transfers(
+            [
+                self.machine.h2d(i, r.row_slice(*row_part.range_of(i)).memory_floats() * FLOAT_BYTES, tag=f"r-rows-{label}")
+                for i in range(p)
+            ],
+            label="h2d",
+        )
+
+        out = np.zeros((rows, cfg.f), dtype=np.float64)
+        herm_profiles = {}
+        solve_profiles = {}
+        for i in range(p):
+            lo, hi = row_part.range_of(i)
+            block_nnz = int(r.indptr[hi] - r.indptr[lo])
+            herm_profiles[i] = get_hermitian_profile(
+                self.machine.spec, hi - lo, block_nnz, other, cfg, name=f"get_hermitian_{label}"
+            )
+            solve_profiles[i] = batch_solve_profile(hi - lo, cfg.f, name=f"batch_solve_{label}")
+            a, b = compute_hermitians(r, fixed, cfg.lam, lo, hi)
+            out[lo:hi] = batch_solve(a, b)
+        self.machine.run_parallel_kernels(herm_profiles, use_texture=cfg.use_texture)
+        self.machine.run_parallel_kernels(solve_profiles)
+        self.machine.run_transfers(
+            [self.machine.d2h(i, row_part.size_of(i) * cfg.f * FLOAT_BYTES, tag=f"x-gather-{label}") for i in range(p)],
+            label="gather",
+        )
+        return out
+
+    def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
+        """One SU-ALS update pass over all rows of ``r`` (solving that side).
+
+        Dispatches to pure model parallelism when the fixed factor fits on
+        one GPU, and to the data-parallel (grid partition + reduction)
+        scheme of Algorithm 3 otherwise.
+        """
+        cfg = self.config
+        p = self.p
+        rows, other = r.shape
+        if p > 1 and not self.force_data_parallel and not self.needs_data_parallelism(other):
+            return self._model_parallel_pass(r, fixed, label)
+        q = self._choose_q(rows, other, r.nnz)
+        grid = grid_partition(r, p, q)
+        col_part = grid.col_partition
+        row_part = grid.row_partition
+
+        # Lines 5-7: scatter the vertical partitions of the fixed factor.
+        theta_bytes = [col_part.size_of(i) * cfg.f * FLOAT_BYTES for i in range(p)]
+        self.machine.run_transfers(scatter_plan(self.machine, theta_bytes, tag=f"theta-scatter-{label}"), label="scatter")
+
+        fixed_parts = [np.asarray(fixed)[col_part.range_of(i)[0] : col_part.range_of(i)[1]] for i in range(p)]
+        out = np.zeros((rows, cfg.f), dtype=np.float64)
+
+        for j in range(q):  # line 8: model-parallel loop over X batches
+            j_lo, j_hi = row_part.range_of(j)
+            batch_rows = j_hi - j_lo
+
+            # Line 10: copy the R^(ij) blocks to their GPUs (concurrently).
+            block_transfers = [
+                self.machine.h2d(i, grid.block(i, j).memory_floats() * FLOAT_BYTES, tag=f"r-block-{label}")
+                for i in range(p)
+            ]
+            self.machine.run_transfers(block_transfers, label="h2d")
+
+            # Line 11: local Hermitians on every GPU, concurrently.
+            partial_a: list[np.ndarray] = []
+            partial_b: list[np.ndarray] = []
+            profiles = {}
+            for i in range(p):
+                block = grid.block(i, j)
+                a_i, b_i = compute_hermitians(block, fixed_parts[i], cfg.lam, 0, batch_rows)
+                partial_a.append(a_i)
+                partial_b.append(b_i)
+                profiles[i] = get_hermitian_profile(
+                    self.machine.spec,
+                    batch_rows,
+                    block.nnz,
+                    max(1, col_part.size_of(i)),
+                    cfg,
+                    name=f"get_hermitian_{label}",
+                )
+            self.machine.run_parallel_kernels(profiles, use_texture=cfg.use_texture)
+
+            # Lines 13-16: parallel reduction of the partials.
+            partial_bytes = batch_rows * (cfg.f * cfg.f + cfg.f) * FLOAT_BYTES
+            self.reduction.simulate(self.machine, partial_bytes)
+            a_full = numeric_reduce(partial_a)
+            b_full = numeric_reduce(partial_b)
+
+            # Line 17: each GPU solves the slice it reduced (or only the
+            # root GPU, for the reduce-to-one strawman).
+            solver_width = self.reduction.solver_parallelism(p)
+            slice_part = Partition1D(batch_rows, solver_width)
+            solve_profiles = {
+                i: batch_solve_profile(slice_part.size_of(i), cfg.f, name=f"batch_solve_{label}")
+                for i in range(solver_width)
+            }
+            self.machine.run_parallel_kernels(solve_profiles)
+            out[j_lo:j_hi] = batch_solve(a_full, b_full)
+
+            # Line 19: gather the solved batch back to host / peers.
+            gather = [
+                self.machine.d2h(i, slice_part.size_of(i) * cfg.f * FLOAT_BYTES, tag=f"x-gather-{label}")
+                for i in range(solver_width)
+            ]
+            self.machine.run_transfers(gather, label="gather")
+        return out
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+        compute_objective: bool = False,
+    ) -> FitResult:
+        """Run SU-ALS; the history carries simulated seconds."""
+        cfg = self.config
+        m, n = train.shape
+        x, theta = init_factors(m, n, cfg)
+        if x0 is not None:
+            x = np.array(x0, dtype=np.float64, copy=True)
+        if theta0 is not None:
+            theta = np.array(theta0, dtype=np.float64, copy=True)
+
+        train_t = train.to_csc().transpose_csr()
+        history: list[IterationStats] = []
+        for it in range(1, cfg.iterations + 1):
+            t0 = self.machine.elapsed_seconds()
+            x = self._update_pass(train, theta, label="x")
+            theta = self._update_pass(train_t, x, label="theta")
+            seconds = self.machine.elapsed_seconds() - t0
+            history.append(
+                IterationStats(
+                    iteration=it,
+                    train_rmse=rmse(train, x, theta),
+                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
+                    seconds=seconds,
+                    cumulative_seconds=self.machine.elapsed_seconds(),
+                    objective=objective_value(train, x, theta, cfg.lam) if compute_objective else float("nan"),
+                )
+            )
+        return FitResult(
+            x=x,
+            theta=theta,
+            history=history,
+            solver=self.name,
+            config=cfg,
+            breakdown=self.machine.clock.breakdown(),
+        )

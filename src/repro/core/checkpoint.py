@@ -1,0 +1,88 @@
+"""Checkpoint-based fault tolerance (§4.4 "Fault tolerance").
+
+cuMF asynchronously checkpoints X and Θ after every iteration into a
+parallel file system; on machine failure the most recent factor matrices
+restart ALS.  :class:`CheckpointManager` provides the same contract on the
+local file system with atomic writes, retention of the latest ``keep``
+checkpoints, and a restore path the trainer can resume from.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Checkpoint", "CheckpointManager"]
+
+_CKPT_RE = re.compile(r"^cumf_iter(\d+)\.npz$")
+
+
+@dataclass
+class Checkpoint:
+    """One restored checkpoint."""
+
+    iteration: int
+    x: np.ndarray
+    theta: np.ndarray
+    path: str
+
+
+class CheckpointManager:
+    """Writes, lists, prunes and restores factor-matrix checkpoints."""
+
+    def __init__(self, directory: str | os.PathLike, keep: int = 2):
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.directory = os.fspath(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def _path(self, iteration: int) -> str:
+        return os.path.join(self.directory, f"cumf_iter{iteration}.npz")
+
+    def save(self, iteration: int, x: np.ndarray, theta: np.ndarray) -> str:
+        """Atomically persist the factors of one iteration; prunes old files."""
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        path = self._path(iteration)
+        tmp = path + ".tmp"
+        np.savez_compressed(tmp, iteration=np.int64(iteration), x=np.asarray(x), theta=np.asarray(theta))
+        tmp_real = tmp if os.path.exists(tmp) else tmp + ".npz"
+        os.replace(tmp_real, path)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        existing = sorted(self.list_iterations())
+        for iteration in existing[: max(0, len(existing) - self.keep)]:
+            try:
+                os.remove(self._path(iteration))
+            except FileNotFoundError:  # pragma: no cover - benign race
+                pass
+
+    # ------------------------------------------------------------------ #
+    def list_iterations(self) -> list[int]:
+        """Iterations that currently have a checkpoint on disk."""
+        out = []
+        for entry in os.listdir(self.directory):
+            match = _CKPT_RE.match(entry)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def latest(self) -> Checkpoint | None:
+        """Restore the most recent checkpoint, or ``None`` if there is none."""
+        iterations = self.list_iterations()
+        if not iterations:
+            return None
+        return self.load(iterations[-1])
+
+    def load(self, iteration: int) -> Checkpoint:
+        """Restore a specific iteration's checkpoint."""
+        path = self._path(iteration)
+        with np.load(path) as blob:
+            return Checkpoint(iteration=int(blob["iteration"]), x=blob["x"], theta=blob["theta"], path=path)

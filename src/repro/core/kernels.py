@@ -1,0 +1,117 @@
+"""Kernel profiles of the MO-ALS CUDA kernels (Algorithm 2).
+
+These functions translate a block of ALS work (``rows`` rows holding
+``nnz`` ratings at feature dimension ``f``) into the
+:class:`~repro.gpu.kernel.KernelProfile` the simulated device executes.
+The traffic counts follow Algorithm 2 line by line:
+
+* line 3 — gathering ``Θᵀ_u`` reads ``nnz · f`` floats of Θ through the
+  texture path (or as uncoalesced global loads when texture is off);
+* lines 5-10 — the gathered columns are staged into shared-memory bins of
+  ``bin_size`` columns (one write per element) and each staged element is
+  then read ``f`` times to form the outer products;
+* line 8 — the running ``A_u`` (f(f+1)/2 distinct values) is read-modified-
+  written once per gathered column; with ``use_registers`` that traffic
+  lands in the register file, otherwise in shared memory with the
+  bank-conflict/occupancy penalty;
+* line 11 — the finished ``A_u`` is written to global memory once per row;
+* line 12 — ``B_u = Θᵀ·Rᵀ_{u*}`` reads the CSR row (values + column ids)
+  and writes ``f`` floats per row; its Θ reads are shared with the gather.
+
+``batch_solve`` is the cuBLAS batched Cholesky/LU: ``f³/3`` MACs per row,
+reading and writing the ``A_u``/``B_u``/``x_u`` blocks in global memory.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ALSConfig
+from repro.gpu.kernel import KernelProfile
+from repro.gpu.memory import MemoryKind
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["get_hermitian_profile", "batch_solve_profile", "transfer_bytes", "texture_reuse_factor"]
+
+FLOAT_BYTES = 4  # cuMF computes in single precision
+
+
+def texture_reuse_factor(spec: DeviceSpec, theta_rows: int, f: int) -> float:
+    """Expected texture/L2 hit rate of the θ gathers.
+
+    Each θ_v column occupies ``f`` consecutive floats, so one fetch always
+    enjoys intra-column spatial locality (the 0.3 floor).  Cross-row reuse
+    of the same column only materialises while the Θ partition's working
+    set fits in the cache, hence the capacity ratio term.
+    """
+    theta_bytes = max(1, theta_rows * f * FLOAT_BYTES)
+    capacity_ratio = min(1.0, spec.texture_cache_bytes / theta_bytes)
+    return min(1.0, 0.3 + 0.7 * capacity_ratio)
+
+
+def get_hermitian_profile(
+    spec: DeviceSpec,
+    rows: int,
+    nnz: int,
+    theta_rows: int,
+    config: ALSConfig,
+    name: str = "get_hermitian",
+) -> KernelProfile:
+    """Profile of one ``get_hermitian`` launch over ``rows`` rows / ``nnz`` ratings."""
+    if rows < 0 or nnz < 0 or theta_rows <= 0:
+        raise ValueError("rows/nnz must be non-negative and theta_rows positive")
+    f = config.f
+    fb = FLOAT_BYTES
+
+    # compute: A_u outer products (f(f+1)/2 MACs per rating) + B_u (f MACs per rating)
+    flops = 2.0 * nnz * (f * (f + 1) / 2.0) + 2.0 * nnz * f
+
+    # line 3: gather Θᵀ_u — nnz * f floats through texture (or global).
+    gather_bytes = float(nnz) * f * fb
+
+    # lines 5-10: stage into shared bins (1 write / element) then read each
+    # element f times for the outer products.
+    shared_bytes = float(nnz) * f * fb + float(nnz) * f * f * fb
+
+    # line 8: accumulate A_u — read+modify+write f(f+1)/2 values per rating.
+    accum_bytes = 2.0 * nnz * (f * (f + 1) / 2.0) * fb
+
+    # line 11/12: write A_u and B_u, read the CSR row of R.
+    global_bytes = float(rows) * f * f * fb + float(rows) * f * fb + float(nnz) * 2 * fb
+
+    traffic = {MemoryKind.GLOBAL: global_bytes, MemoryKind.SHARED: shared_bytes}
+    if config.use_registers:
+        traffic[MemoryKind.REGISTER] = accum_bytes
+    else:
+        traffic[MemoryKind.SHARED] = shared_bytes + accum_bytes * spec.shared_bank_conflict_penalty
+
+    profile = KernelProfile(
+        name=name,
+        flops=flops,
+        traffic=traffic,
+        blocks=rows,
+        texture_reuse=texture_reuse_factor(spec, theta_rows, f),
+    )
+    if config.use_texture:
+        profile.texture_bytes = gather_bytes
+    else:
+        profile.uncoalesced_global_bytes = gather_bytes
+    return profile
+
+
+def batch_solve_profile(rows: int, f: int, name: str = "batch_solve") -> KernelProfile:
+    """Profile of the batched in-place solve of ``rows`` f×f systems."""
+    if rows < 0 or f <= 0:
+        raise ValueError("rows must be non-negative and f positive")
+    fb = FLOAT_BYTES
+    flops = 2.0 * rows * (f**3) / 3.0  # Cholesky factorisation + triangular solves
+    global_bytes = rows * (f * f + 2 * f) * fb * 2.0  # read A,B; write factorised A, x
+    return KernelProfile(
+        name=name,
+        flops=flops,
+        traffic={MemoryKind.GLOBAL: global_bytes},
+        blocks=rows,
+    )
+
+
+def transfer_bytes(count_floats: float) -> float:
+    """Bytes of a host↔device / device↔device copy of ``count_floats`` singles."""
+    return float(count_floats) * FLOAT_BYTES

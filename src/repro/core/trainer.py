@@ -1,0 +1,137 @@
+"""High-level cuMF facade: fit / predict / recommend / resume.
+
+:class:`CuMF` is the API a downstream user would adopt.  It hides the
+choice between the three solver levels behind a ``backend`` argument,
+optionally checkpoints every iteration, and exposes prediction and top-k
+recommendation helpers on the learned factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.reduction import ReductionScheme
+from repro.core.als_base import BaseALS
+from repro.core.als_mo import MemoryOptimizedALS
+from repro.core.als_su import ScaleUpALS
+from repro.core.checkpoint import CheckpointManager
+from repro.core.config import ALSConfig, FitResult
+from repro.core.metrics import rmse
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.specs import TITAN_X, DeviceSpec
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["CuMF"]
+
+_BACKENDS = ("base", "mo", "su")
+
+
+class CuMF:
+    """Matrix factorization with the cuMF solvers.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters and optimisation switches.
+    backend:
+        ``"base"`` (plain NumPy Algorithm 1), ``"mo"`` (single simulated
+        GPU, Algorithm 2) or ``"su"`` (multi-GPU, Algorithm 3).
+    n_gpus:
+        Number of GPUs for the ``"su"`` backend (ignored otherwise).
+    spec:
+        Device spec for the simulated GPUs.
+    machine:
+        Pre-built machine (overrides ``n_gpus``/``spec``); lets callers
+        share one simulated machine between runs or customise topology.
+    reduction:
+        Reduction scheme for ``"su"`` (default: two-phase topology-aware).
+    checkpoint_dir:
+        When set, X/Θ are checkpointed after every iteration and
+        :meth:`fit` resumes from the latest checkpoint if one exists.
+    """
+
+    def __init__(
+        self,
+        config: ALSConfig | None = None,
+        backend: str = "mo",
+        n_gpus: int = 1,
+        spec: DeviceSpec = TITAN_X,
+        machine: MultiGPUMachine | None = None,
+        reduction: ReductionScheme | None = None,
+        checkpoint_dir: str | None = None,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.config = config or ALSConfig()
+        self.backend = backend
+        self.n_gpus = n_gpus
+        self.spec = spec
+        self.machine = machine
+        self.reduction = reduction
+        self.checkpoints = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+        self.result: FitResult | None = None
+
+    # ------------------------------------------------------------------ #
+    def _build_solver(self):
+        if self.backend == "base":
+            return BaseALS(self.config)
+        if self.backend == "mo":
+            machine = self.machine or MultiGPUMachine(n_gpus=1, spec=self.spec)
+            return MemoryOptimizedALS(self.config, machine=machine)
+        machine = self.machine or MultiGPUMachine(n_gpus=self.n_gpus, spec=self.spec)
+        return ScaleUpALS(self.config, machine=machine, reduction=self.reduction)
+
+    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None, resume: bool = False) -> FitResult:
+        """Train on ``train`` and (optionally) track test RMSE per iteration."""
+        solver = self._build_solver()
+        x0 = theta0 = None
+        if resume and self.checkpoints is not None:
+            restored = self.checkpoints.latest()
+            if restored is not None:
+                x0, theta0 = restored.x, restored.theta
+        result = solver.fit(train, test, x0=x0, theta0=theta0)
+        if self.checkpoints is not None and result.history:
+            self.checkpoints.save(result.history[-1].iteration, result.x, result.theta)
+        self.result = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _require_fit(self) -> FitResult:
+        if self.result is None:
+            raise RuntimeError("call fit() before predicting or recommending")
+        return self.result
+
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings for aligned arrays of user and item indices."""
+        res = self._require_fit()
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same shape")
+        return np.einsum("ij,ij->i", res.x[users], res.theta[items])
+
+    def score(self, ratings: CSRMatrix) -> float:
+        """RMSE of the fitted model against a rating matrix."""
+        res = self._require_fit()
+        return rmse(ratings, res.x, res.theta)
+
+    def recommend(self, user: int, k: int = 10, exclude: CSRMatrix | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` items for ``user`` by predicted rating.
+
+        ``exclude`` (typically the training matrix) removes items the user
+        has already rated.
+        """
+        res = self._require_fit()
+        if not 0 <= user < res.x.shape[0]:
+            raise IndexError(f"user {user} out of range")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scores = res.theta @ res.x[user]
+        if exclude is not None:
+            rated, _ = exclude.row(user)
+            scores = scores.copy()
+            scores[rated] = -np.inf
+        k = min(k, scores.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [(int(i), float(scores[i])) for i in top if np.isfinite(scores[i])]

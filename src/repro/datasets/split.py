@@ -1,0 +1,53 @@
+"""Train/test splitting of rating matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    ratings: CSRMatrix,
+    test_fraction: float = 0.1,
+    seed: int = 0,
+    protect_coverage: bool = True,
+) -> tuple[CSRMatrix, CSRMatrix]:
+    """Split observed ratings into training and held-out test matrices.
+
+    Parameters
+    ----------
+    ratings:
+        The full observed rating matrix.
+    test_fraction:
+        Probability of each rating landing in the test set.
+    seed:
+        RNG seed (deterministic splits).
+    protect_coverage:
+        When True (default), a rating is never moved to the test set if it
+        is the only remaining training rating of its row or column — this
+        keeps the weighted-λ ALS normal equations non-singular everywhere,
+        mimicking how the public benchmark splits are constructed.
+    """
+    if not 0.0 <= test_fraction < 1.0:
+        raise ValueError("test_fraction must be in [0, 1)")
+    coo = ratings.to_coo()
+    rng = np.random.default_rng(seed)
+    mask = rng.random(coo.nnz) < test_fraction
+
+    if protect_coverage and mask.any():
+        train_rows = coo.rows[~mask]
+        train_cols = coo.cols[~mask]
+        m, n = ratings.shape
+        row_counts = np.bincount(train_rows, minlength=m)
+        col_counts = np.bincount(train_cols, minlength=n)
+        # Un-hold-out any test rating whose row or column would be left empty.
+        bad = mask & ((row_counts[coo.rows] == 0) | (col_counts[coo.cols] == 0))
+        mask &= ~bad
+
+    test = COOMatrix(coo.shape, coo.rows[mask], coo.cols[mask], coo.data[mask]).to_csr()
+    train = COOMatrix(coo.shape, coo.rows[~mask], coo.cols[~mask], coo.data[~mask]).to_csr()
+    return train, test

@@ -1,0 +1,100 @@
+"""Shared utilities for the experiment drivers.
+
+The convergence experiments combine two ingredients (see DESIGN.md):
+
+* **real numerics at laptop scale** — a scaled-down synthetic workload
+  that is actually factorized, giving a genuine RMSE-per-iteration (or
+  per-epoch) trajectory;
+* **full-scale timing** — the per-iteration seconds the same solver would
+  take on the paper-scale dataset, from the simulated-GPU performance
+  model (cuMF) or the cluster model (CPU baselines).
+
+:func:`remap_time_axis` stitches the two together, which is how every
+"RMSE vs training time" series in Figures 6-10 is produced.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FitResult
+from repro.datasets.registry import HUGEWIKI, NETFLIX, YAHOOMUSIC, DatasetSpec
+from repro.datasets.synthetic import SyntheticRatings, generate_ratings
+
+__all__ = [
+    "netflix_like",
+    "yahoomusic_like",
+    "hugewiki_like",
+    "remap_time_axis",
+    "series_reaches",
+    "format_table",
+]
+
+
+def netflix_like(max_rows: int = 1500, f: int = 16, seed: int = 7) -> SyntheticRatings:
+    """A scaled-down Netflix-shaped workload (dense rows, small n)."""
+    spec = NETFLIX.scaled(max_rows=max_rows, f=f)
+    return generate_ratings(spec, seed=seed, noise_sigma=0.3)
+
+
+def yahoomusic_like(max_rows: int = 1500, f: int = 16, seed: int = 11) -> SyntheticRatings:
+    """A scaled-down YahooMusic-shaped workload (larger, sparser item side)."""
+    spec = YAHOOMUSIC.scaled(max_rows=max_rows, f=f)
+    return generate_ratings(spec, seed=seed, noise_sigma=0.3)
+
+
+def hugewiki_like(max_rows: int = 4000, f: int = 16, seed: int = 13) -> SyntheticRatings:
+    """A scaled-down Hugewiki-shaped workload (huge m, tiny n)."""
+    spec = HUGEWIKI.scaled(max_rows=max_rows, f=f)
+    return generate_ratings(spec, seed=seed, noise_sigma=0.3)
+
+
+def remap_time_axis(result: FitResult, seconds_per_iteration: float) -> list[dict]:
+    """RMSE-vs-time series with the time axis rescaled to full-scale seconds."""
+    series = []
+    for stats in result.history:
+        series.append(
+            {
+                "iteration": stats.iteration,
+                "seconds": stats.iteration * seconds_per_iteration,
+                "test_rmse": stats.test_rmse,
+                "train_rmse": stats.train_rmse,
+            }
+        )
+    return series
+
+
+def series_reaches(series: list[dict], target_rmse: float) -> float:
+    """First time (seconds) at which a series' test RMSE ≤ target, else inf."""
+    for point in series:
+        if point["test_rmse"] <= target_rmse:
+            return point["seconds"]
+    return float("inf")
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of dicts as a fixed-width text table (for bench output)."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def dataset_for(name: str) -> DatasetSpec:
+    """Convenience lookup used by the benches."""
+    from repro.datasets.registry import get_dataset
+
+    return get_dataset(name)

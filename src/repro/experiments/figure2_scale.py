@@ -1,0 +1,31 @@
+"""Figure 2 ("The scale of MF data sets") and Table 5 ("Data sets")."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASETS, figure2_catalogue
+
+__all__ = ["figure2_rows", "table5_rows"]
+
+
+def figure2_rows() -> list[dict]:
+    """The (model size, Nz) points plotted in Figure 2."""
+    return figure2_catalogue()
+
+
+def table5_rows() -> list[dict]:
+    """The rows of Table 5: m, n, Nz, f and λ for every workload."""
+    rows = []
+    for spec in DATASETS.values():
+        rows.append(
+            {
+                "name": spec.name,
+                "m": spec.m,
+                "n": spec.n,
+                "nz": spec.nz,
+                "f": spec.f,
+                "lambda": spec.lam,
+                "density": spec.density,
+                "nnz_per_row": spec.nnz_per_row,
+            }
+        )
+    return rows

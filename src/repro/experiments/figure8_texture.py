@@ -1,0 +1,36 @@
+"""Figure 8: convergence with vs without the texture-memory path."""
+
+from __future__ import annotations
+
+from repro.core.als_mo import MemoryOptimizedALS
+from repro.core.config import ALSConfig
+from repro.core.perfmodel import mo_als_iteration_time
+from repro.datasets.registry import NETFLIX, YAHOOMUSIC, DatasetSpec
+from repro.experiments.common import netflix_like, remap_time_axis, yahoomusic_like
+
+__all__ = ["figure8_series"]
+
+
+def _panel(data, full_spec: DatasetSpec, f: int, iterations: int, seed: int) -> dict:
+    with_cfg = ALSConfig(f=f, lam=0.05, iterations=iterations, seed=seed, use_texture=True)
+    without_cfg = with_cfg.with_(use_texture=False)
+    with_fit = MemoryOptimizedALS(with_cfg).fit(data.train, data.test)
+    without_fit = MemoryOptimizedALS(without_cfg).fit(data.train, data.test)
+    with_full = mo_als_iteration_time(full_spec, ALSConfig(f=full_spec.f, lam=full_spec.lam, use_texture=True))
+    without_full = mo_als_iteration_time(full_spec, ALSConfig(f=full_spec.f, lam=full_spec.lam, use_texture=False))
+    return {
+        "dataset": full_spec.name,
+        "with_texture": remap_time_axis(with_fit, with_full.seconds),
+        "without_texture": remap_time_axis(without_fit, without_full.seconds),
+        "seconds_per_iteration_with": with_full.seconds,
+        "seconds_per_iteration_without": without_full.seconds,
+        "slowdown_without_texture": without_full.seconds / with_full.seconds,
+    }
+
+
+def figure8_series(max_rows: int = 1000, f: int = 16, iterations: int = 6, seed: int = 9) -> list[dict]:
+    """Both panels of Figure 8 (Netflix-like and YahooMusic-like)."""
+    return [
+        _panel(netflix_like(max_rows=max_rows, f=f, seed=seed), NETFLIX, f, iterations, seed),
+        _panel(yahoomusic_like(max_rows=max_rows, f=f, seed=seed + 1), YAHOOMUSIC, f, iterations, seed),
+    ]

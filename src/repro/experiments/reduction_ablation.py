@@ -1,0 +1,65 @@
+"""§4.2 ablation: reduce-to-one vs parallel vs topology-aware reduction.
+
+The paper reports that the one-phase parallel reduction is 1.7× as fast as
+reducing everything on one GPU (which also serialises the subsequent batch
+solve), and that the two-phase topology-aware scheme adds another 1.5× on
+a dual-socket machine.  The experiment times exactly that step — reduction
+of a Hugewiki-sized batch of partial Hermitians followed by the batch
+solve — under each scheme on a dual-socket 4-GPU machine.
+"""
+
+from __future__ import annotations
+
+from repro.comm.reduction import OnePhaseParallelReduction, ReduceToOne, TwoPhaseTopologyReduction
+from repro.core.config import ALSConfig
+from repro.core.kernels import FLOAT_BYTES, batch_solve_profile
+from repro.datasets.registry import HUGEWIKI, DatasetSpec
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.specs import TITAN_X
+from repro.gpu.topology import MachineTopology
+from repro.sparse.partition import partition_bounds
+
+__all__ = ["reduction_rows"]
+
+
+def reduction_rows(
+    dataset: DatasetSpec = HUGEWIKI,
+    n_gpus: int = 4,
+    f: int | None = None,
+    dual_socket: bool = True,
+) -> list[dict]:
+    """Time the reduction + solve step of one update-Θ batch per scheme."""
+    f = f or dataset.f
+    config = ALSConfig(f=f, lam=dataset.lam)
+    # The reduced object is the batch of per-column Hermitians and RHS of
+    # the update-Θ pass (the pass that actually needs data parallelism).
+    batch_rows = dataset.n
+    partial_bytes = batch_rows * (f * f + f) * FLOAT_BYTES
+
+    rows = []
+    for scheme in (ReduceToOne(), OnePhaseParallelReduction(), TwoPhaseTopologyReduction()):
+        topo = MachineTopology.dual_socket(n_gpus) if dual_socket else MachineTopology.single_socket(n_gpus)
+        machine = MultiGPUMachine(n_gpus=n_gpus, spec=TITAN_X, topology=topo)
+        reduce_seconds = scheme.simulate(machine, partial_bytes)
+        solver_width = scheme.solver_parallelism(n_gpus)
+        bounds = partition_bounds(batch_rows, solver_width)
+        solves = {
+            i: batch_solve_profile(int(bounds[i + 1] - bounds[i]), config.f) for i in range(solver_width)
+        }
+        solve_seconds = machine.run_parallel_kernels(solves)
+        rows.append(
+            {
+                "scheme": scheme.name,
+                "reduce_seconds": reduce_seconds,
+                "solve_seconds": solve_seconds,
+                "total_seconds": reduce_seconds + solve_seconds,
+                "solver_parallelism": solver_width,
+            }
+        )
+
+    base = rows[0]["total_seconds"]
+    one_phase = rows[1]["total_seconds"]
+    for row in rows:
+        row["speedup_vs_reduce_to_one"] = base / row["total_seconds"]
+    rows[2]["speedup_vs_one_phase"] = one_phase / rows[2]["total_seconds"]
+    return rows

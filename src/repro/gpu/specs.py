@@ -1,0 +1,214 @@
+"""Datasheet-level descriptions of the processors the paper uses.
+
+The experiments in §5 run on Nvidia GTX Titan X cards (3072 CUDA cores,
+12 GB) for the medium-size problems and GK210 halves of Tesla K80 boards
+(2496 cores, 12 GB) for the extreme-scale ones; the CPU baselines use
+30-core Xeon machines (libMF / NOMAD single node) and AWS nodes
+(m3.xlarge, m3.2xlarge, c3.2xlarge) for the distributed systems.
+
+All numbers below come from public datasheets; ``*_efficiency`` factors
+derate peak figures to what memory-bound sparse kernels achieve in
+practice, so that the simulated iteration times land in the same ballpark
+as the wall-clock numbers reported in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DeviceSpec",
+    "TITAN_X",
+    "GK210",
+    "TESLA_K80_HALF",
+    "CPU_30_CORE_NODE",
+    "cpu_node_spec",
+]
+
+GIB = 1024**3
+GB = 1e9
+TB = 1e12
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one compute device (GPU or CPU socket group).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    sm_count:
+        Number of streaming multiprocessors (or physical cores for a CPU).
+    clock_ghz:
+        Core clock.
+    peak_sp_gflops:
+        Peak single-precision throughput in GFLOP/s.
+    compute_efficiency:
+        Fraction of peak a well-tuned dense kernel achieves (batched
+        Cholesky, outer products).
+    global_bytes:
+        Capacity of global (device) memory in bytes.
+    global_bw:
+        Global-memory bandwidth, bytes/s.
+    texture_bw:
+        Effective bandwidth of texture-cached reads, bytes/s (only
+        meaningful when the working set enjoys locality; see
+        :func:`repro.gpu.kernel.estimate_kernel_time`).
+    texture_cache_bytes:
+        Per-device texture cache working-set size used by the reuse model.
+    shared_bytes_per_sm:
+        Programmable shared memory per SM (48 or 96 KB on Kepler/Maxwell).
+    shared_bw:
+        Aggregate shared-memory bandwidth, bytes/s.
+    register_bytes_per_sm:
+        Register-file size per SM (256 KB on Maxwell, 512 KB on GK210).
+    register_bw:
+        Aggregate register-file bandwidth, bytes/s.
+    block_overhead_s:
+        Amortised cost of scheduling one thread block (one row of X/Θ maps
+        to one block in cuMF): row-pointer reads, block launch and epilogue,
+        seconds per block.
+    uncoalesced_penalty:
+        Multiplier applied to global-memory traffic that is sparse and
+        discontiguous (the θ_v gathers when the texture path is disabled).
+    shared_bank_conflict_penalty:
+        Multiplier applied to the Hermitian-accumulation traffic when it is
+        kept in shared memory instead of registers: it folds together bank
+        conflicts and the occupancy loss caused by each thread block
+        claiming an extra f^2 floats of shared memory (paper section 3.3).
+    """
+
+    name: str
+    sm_count: int
+    clock_ghz: float
+    peak_sp_gflops: float
+    compute_efficiency: float
+    global_bytes: int
+    global_bw: float
+    texture_bw: float
+    texture_cache_bytes: int
+    shared_bytes_per_sm: int
+    shared_bw: float
+    register_bytes_per_sm: int
+    register_bw: float
+    block_overhead_s: float = 0.1e-6
+    uncoalesced_penalty: float = 3.0
+    shared_bank_conflict_penalty: float = 2.5
+    is_gpu: bool = True
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def effective_gflops(self) -> float:
+        """Achievable single-precision GFLOP/s for the ALS kernels."""
+        return self.peak_sp_gflops * self.compute_efficiency
+
+    @property
+    def shared_bytes_total(self) -> int:
+        """Total programmable shared memory on the device."""
+        return self.shared_bytes_per_sm * self.sm_count
+
+    @property
+    def register_bytes_total(self) -> int:
+        """Total register-file capacity on the device."""
+        return self.register_bytes_per_sm * self.sm_count
+
+    def with_memory(self, global_bytes: int) -> "DeviceSpec":
+        """Copy of this spec with a different device-memory capacity."""
+        return replace(self, global_bytes=int(global_bytes))
+
+    def scaled(self, factor: float, name: str | None = None) -> "DeviceSpec":
+        """Copy with compute and bandwidth scaled by ``factor`` (ablations)."""
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            peak_sp_gflops=self.peak_sp_gflops * factor,
+            global_bw=self.global_bw * factor,
+            texture_bw=self.texture_bw * factor,
+            shared_bw=self.shared_bw * factor,
+            register_bw=self.register_bw * factor,
+        )
+
+
+#: Nvidia GeForce GTX Titan X (Maxwell, GM200): 3072 cores @ ~1.0 GHz,
+#: 6.6 TFLOP/s SP peak, 12 GB GDDR5 @ 336 GB/s, 24 SMs, 96 KB shared and
+#: 256 KB registers per SM.
+TITAN_X = DeviceSpec(
+    name="GTX Titan X",
+    sm_count=24,
+    clock_ghz=1.0,
+    peak_sp_gflops=6600.0,
+    compute_efficiency=0.45,
+    global_bytes=12 * GIB,
+    global_bw=336 * GB,
+    texture_bw=450 * GB,
+    texture_cache_bytes=3 * 1024 * 1024,
+    shared_bytes_per_sm=96 * 1024,
+    shared_bw=2.7 * TB,
+    register_bytes_per_sm=256 * 1024,
+    register_bw=10.0 * TB,
+)
+
+#: One GK210 half of a Tesla K80 board: 2496 cores, 12 GB @ 240 GB/s,
+#: 13 SMX, 112 KB usable shared memory and 512 KB registers per SMX.
+GK210 = DeviceSpec(
+    name="Tesla K80 (GK210 half)",
+    sm_count=13,
+    clock_ghz=0.875,
+    peak_sp_gflops=4368.0,
+    compute_efficiency=0.40,
+    global_bytes=12 * GIB,
+    global_bw=240 * GB,
+    texture_bw=320 * GB,
+    texture_cache_bytes=1536 * 1024,
+    shared_bytes_per_sm=112 * 1024,
+    shared_bw=2.0 * TB,
+    register_bytes_per_sm=512 * 1024,
+    register_bw=8.0 * TB,
+)
+
+#: Alias used by the extreme-scale experiments (§5.5 uses "GK210 cards ...
+#: every two cards encapsulated as one K80").
+TESLA_K80_HALF = GK210
+
+
+def cpu_node_spec(
+    name: str,
+    cores: int,
+    ghz: float = 2.5,
+    flops_per_cycle: float = 8.0,
+    mem_bw_gbs: float = 60.0,
+    mem_gib: float = 128.0,
+    compute_efficiency: float = 0.30,
+) -> DeviceSpec:
+    """Build a ``DeviceSpec`` for a multi-core CPU node.
+
+    CPU nodes have no programmable texture/shared/register hierarchy, so
+    those spaces are mapped onto the cache hierarchy with generous
+    bandwidth; what matters for the baselines is the flop rate and the
+    main-memory bandwidth.
+    """
+    peak = cores * ghz * flops_per_cycle
+    return DeviceSpec(
+        name=name,
+        sm_count=cores,
+        clock_ghz=ghz,
+        peak_sp_gflops=peak,
+        compute_efficiency=compute_efficiency,
+        global_bytes=int(mem_gib * GIB),
+        global_bw=mem_bw_gbs * GB,
+        texture_bw=mem_bw_gbs * GB,
+        texture_cache_bytes=cores * 256 * 1024,
+        shared_bytes_per_sm=256 * 1024,
+        shared_bw=mem_bw_gbs * GB * 4,
+        register_bytes_per_sm=16 * 1024,
+        register_bw=mem_bw_gbs * GB * 16,
+        block_overhead_s=0.05e-6,
+        uncoalesced_penalty=1.6,
+        shared_bank_conflict_penalty=1.0,
+        is_gpu=False,
+    )
+
+
+#: The 30-core single machine the paper uses for libMF / NOMAD (§5.2).
+CPU_30_CORE_NODE = cpu_node_spec("Xeon 30-core node", cores=30, ghz=2.5, mem_bw_gbs=100.0, mem_gib=256.0)

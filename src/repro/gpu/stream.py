@@ -1,0 +1,89 @@
+"""CUDA-stream-like asynchronous copy engine.
+
+§4.4 "Out-of-core computation": cuMF plans which R/X partition goes to
+which GPU in which order, then uses separate CPU threads to preload from
+disk to host memory and separate CUDA streams to preload from host to GPU
+memory, so that all loads except the first overlap with compute
+("close-to-zero data loading time except for the first load").
+
+:class:`CopyStream` reproduces that accounting: copies enqueued while the
+compute stream is busy overlap with it; only the portion that does not fit
+under the compute time becomes exposed (visible) transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CopyStream", "OverlapReport"]
+
+
+@dataclass
+class OverlapReport:
+    """Summary of how much transfer time was hidden behind compute."""
+
+    compute_seconds: float = 0.0
+    copy_seconds: float = 0.0
+    exposed_copy_seconds: float = 0.0
+
+    @property
+    def hidden_copy_seconds(self) -> float:
+        """Copy time that overlapped with compute."""
+        return self.copy_seconds - self.exposed_copy_seconds
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of copy time hidden behind compute (0 when no copies)."""
+        if self.copy_seconds == 0:
+            return 0.0
+        return self.hidden_copy_seconds / self.copy_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Makespan of the interleaved compute + copy schedule."""
+        return self.compute_seconds + self.exposed_copy_seconds
+
+
+@dataclass
+class CopyStream:
+    """Double-buffered prefetch accounting for a sequence of batches.
+
+    The usage pattern mirrors the out-of-core loop: before batch ``j`` is
+    solved, batch ``j + 1``'s data is enqueued on the copy stream; the copy
+    overlaps with batch ``j``'s compute.  Call :meth:`prefetch` with the
+    copy duration and :meth:`compute` with the kernel duration, in loop
+    order; the stream works out the exposed time.
+    """
+
+    report: OverlapReport = field(default_factory=OverlapReport)
+    _pending_copy: float = 0.0
+
+    def prefetch(self, copy_seconds: float) -> None:
+        """Enqueue a copy that may overlap with the *next* compute call."""
+        if copy_seconds < 0:
+            raise ValueError("copy time must be non-negative")
+        self.report.copy_seconds += copy_seconds
+        self._pending_copy += copy_seconds
+
+    def blocking_copy(self, copy_seconds: float) -> None:
+        """A copy that cannot be hidden (the first load of the plan)."""
+        if copy_seconds < 0:
+            raise ValueError("copy time must be non-negative")
+        self.report.copy_seconds += copy_seconds
+        self.report.exposed_copy_seconds += copy_seconds
+
+    def compute(self, compute_seconds: float) -> None:
+        """Run a compute span; pending prefetches hide underneath it."""
+        if compute_seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self.report.compute_seconds += compute_seconds
+        hidden = min(self._pending_copy, compute_seconds)
+        exposed = self._pending_copy - hidden
+        self.report.exposed_copy_seconds += exposed
+        self._pending_copy = 0.0
+
+    def drain(self) -> OverlapReport:
+        """Flush any copies still pending (nothing left to hide them)."""
+        self.report.exposed_copy_seconds += self._pending_copy
+        self._pending_copy = 0.0
+        return self.report

@@ -1,0 +1,26 @@
+"""Performance accounting: simulated clock, counters, roofline, Table-3 model."""
+
+from repro.perf.timeline import Event, SimClock, Timeline
+from repro.perf.counters import OpCounter
+from repro.perf.roofline import RooflinePoint, roofline_time
+from repro.perf.analytical import (
+    UpdateCost,
+    als_iteration_cost,
+    batch_solve_cost,
+    get_hermitian_cost,
+    memory_footprint_floats,
+)
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "Timeline",
+    "OpCounter",
+    "RooflinePoint",
+    "roofline_time",
+    "UpdateCost",
+    "get_hermitian_cost",
+    "batch_solve_cost",
+    "als_iteration_cost",
+    "memory_footprint_floats",
+]

@@ -1,0 +1,64 @@
+"""Flop / byte counters shared by solvers and the analytical model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OpCounter"]
+
+
+@dataclass
+class OpCounter:
+    """Cumulative operation counters for one solver run.
+
+    The counters are deliberately coarse — flops, bytes read, bytes
+    written, and a few named sub-counters — because their purpose is to be
+    compared against the closed-form expressions of Table 3, not to be a
+    cycle-accurate trace.
+    """
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    named: dict = field(default_factory=dict)
+
+    def add_flops(self, n: float, name: str | None = None) -> None:
+        """Accumulate floating-point operations."""
+        self.flops += n
+        if name:
+            self.named[name] = self.named.get(name, 0.0) + n
+
+    def add_read(self, nbytes: float) -> None:
+        """Accumulate bytes read."""
+        self.bytes_read += nbytes
+
+    def add_write(self, nbytes: float) -> None:
+        """Accumulate bytes written."""
+        self.bytes_written += nbytes
+
+    def add_named(self, name: str, value: float) -> None:
+        """Accumulate an arbitrary named quantity."""
+        self.named[name] = self.named.get(name, 0.0) + value
+
+    @property
+    def bytes_total(self) -> float:
+        """All bytes moved."""
+        return self.bytes_read + self.bytes_written
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte moved."""
+        if self.bytes_total == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / self.bytes_total
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Sum two counters into a new one."""
+        merged = OpCounter(
+            flops=self.flops + other.flops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            named=dict(self.named),
+        )
+        for key, value in other.named.items():
+            merged.named[key] = merged.named.get(key, 0.0) + value
+        return merged

@@ -1,0 +1,55 @@
+"""Roofline helpers.
+
+§3.1 argues that without memory optimisation an ALS implementation "can
+easily be bounded by memory capacity, latency or bandwidth, preventing us
+from harnessing the full power of GPU"; MO-ALS is pitched as getting
+"closer to the roofline performance of a single GPU".  These helpers turn
+counters into roofline coordinates so benches can report where each solver
+variant lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["RooflinePoint", "roofline_time", "attainable_gflops"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel (or solver phase) placed on the roofline plot."""
+
+    name: str
+    arithmetic_intensity: float
+    achieved_gflops: float
+    bound: str
+
+    def is_memory_bound(self) -> bool:
+        """True if the point sits on the bandwidth-limited slope."""
+        return self.bound == "memory"
+
+
+def attainable_gflops(spec: DeviceSpec, arithmetic_intensity: float) -> float:
+    """Roofline ceiling for a given arithmetic intensity (flops/byte)."""
+    if arithmetic_intensity < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    memory_ceiling = spec.global_bw * arithmetic_intensity / 1e9
+    return min(spec.effective_gflops, memory_ceiling)
+
+
+def roofline_time(spec: DeviceSpec, flops: float, dram_bytes: float) -> float:
+    """Lower-bound execution time given flop count and DRAM traffic."""
+    compute_time = flops / (spec.effective_gflops * 1e9) if flops else 0.0
+    memory_time = dram_bytes / spec.global_bw if dram_bytes else 0.0
+    return max(compute_time, memory_time)
+
+
+def classify(spec: DeviceSpec, name: str, flops: float, dram_bytes: float, seconds: float) -> RooflinePoint:
+    """Build a :class:`RooflinePoint` from measured counters and time."""
+    intensity = flops / dram_bytes if dram_bytes else float("inf")
+    achieved = flops / seconds / 1e9 if seconds > 0 else 0.0
+    ridge = spec.effective_gflops * 1e9 / spec.global_bw
+    bound = "memory" if intensity < ridge else "compute"
+    return RooflinePoint(name=name, arithmetic_intensity=intensity, achieved_gflops=achieved, bound=bound)

@@ -1,0 +1,83 @@
+"""Simulated clock and event timeline.
+
+Every solver in this reproduction advances a :class:`SimClock` instead of
+measuring wall-clock time: the numerics run at laptop scale, but the clock
+records how long the same dataflow would take on the simulated hardware.
+A :class:`Timeline` keeps labelled spans so experiments can break an
+iteration down into kernel / transfer / reduction phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "SimClock", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One labelled span on the simulated timeline."""
+
+    label: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """End time of the span."""
+        return self.start + self.duration
+
+
+@dataclass
+class Timeline:
+    """An append-only list of events with aggregation helpers."""
+
+    events: list = field(default_factory=list)
+
+    def add(self, label: str, start: float, duration: float) -> Event:
+        """Record a span."""
+        event = Event(label, start, duration)
+        self.events.append(event)
+        return event
+
+    def total(self, label: str | None = None) -> float:
+        """Total duration, optionally restricted to one label."""
+        return sum(e.duration for e in self.events if label is None or e.label == label)
+
+    def by_label(self) -> dict:
+        """Total duration per label."""
+        out: dict[str, float] = {}
+        for event in self.events:
+            out[event.label] = out.get(event.label, 0.0) + event.duration
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class SimClock:
+    """A monotonically advancing simulated clock with an attached timeline."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.timeline = Timeline()
+
+    def advance(self, seconds: float, label: str = "span") -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock backwards ({seconds} s)")
+        self.timeline.add(label, self.now, seconds)
+        self.now += seconds
+        return self.now
+
+    def reset(self) -> None:
+        """Reset to time zero and clear the timeline."""
+        self.now = 0.0
+        self.timeline = Timeline()
+
+    def breakdown(self) -> dict:
+        """Elapsed time per label."""
+        return self.timeline.by_label()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self.now:.6f}s, events={len(self.timeline)})"

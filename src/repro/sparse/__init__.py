@@ -1,0 +1,57 @@
+"""From-scratch sparse-matrix substrate used throughout the cuMF reproduction.
+
+The paper stores the rating matrix ``R`` in Compressed Sparse Row (CSR)
+format on the GPU (and CSC for the update-Θ pass).  We implement the three
+classic coordinate-compressed layouts on top of plain NumPy arrays rather
+than relying on :mod:`scipy.sparse`, because the reproduction needs direct
+access to the raw ``indptr`` / ``indices`` / ``data`` buffers to drive the
+simulated-GPU traffic accounting and the grid partitioner.
+
+Public classes
+--------------
+``COOMatrix``
+    Coordinate (triplet) layout; the interchange/builder format.
+``CSRMatrix``
+    Compressed sparse row; used for the update-X pass (row gathers).
+``CSCMatrix``
+    Compressed sparse column; used for the update-Θ pass (column gathers).
+
+Partitioning helpers (:mod:`repro.sparse.partition`) implement the
+horizontal / vertical / grid splits of Algorithm 3 (SU-ALS).
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.partition import (
+    GridPartition,
+    Partition1D,
+    grid_partition,
+    horizontal_partition,
+    partition_bounds,
+    vertical_partition,
+)
+from repro.sparse.ops import (
+    csr_column_gather,
+    csr_row_dense_product,
+    csr_spmm,
+    csr_spmv,
+    sampled_residual,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "Partition1D",
+    "GridPartition",
+    "partition_bounds",
+    "horizontal_partition",
+    "vertical_partition",
+    "grid_partition",
+    "csr_spmv",
+    "csr_spmm",
+    "csr_row_dense_product",
+    "csr_column_gather",
+    "sampled_residual",
+]

@@ -1,0 +1,153 @@
+"""Partitioning primitives for SU-ALS (Algorithm 3).
+
+SU-ALS splits the problem three ways (paper §4.1, lines 2-4 of Algorithm 3):
+
+* ``Θᵀ`` is split **vertically** (by columns of R / rows of Θ) into ``p``
+  partitions, one per GPU → data parallelism.
+* ``X`` is split **horizontally** (by rows of R) into ``q`` batches →
+  model parallelism.
+* ``R`` is **grid partitioned** into ``p × q`` blocks ``R^(ij)`` following
+  the two schemes above.
+
+The helpers below compute even partition boundaries and materialise the
+corresponding sparse blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "Partition1D",
+    "GridPartition",
+    "partition_bounds",
+    "horizontal_partition",
+    "vertical_partition",
+    "grid_partition",
+]
+
+
+def partition_bounds(extent: int, parts: int) -> np.ndarray:
+    """Even split of ``range(extent)`` into ``parts`` contiguous chunks.
+
+    Returns an array of ``parts + 1`` boundaries; chunk ``i`` is
+    ``[bounds[i], bounds[i + 1])``.  The first ``extent % parts`` chunks get
+    one extra element, matching the "evenly split" wording of the paper.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if extent < 0:
+        raise ValueError("extent must be non-negative")
+    base, extra = divmod(extent, parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+@dataclass
+class Partition1D:
+    """A one-dimensional contiguous partition of ``extent`` into ``parts`` chunks."""
+
+    extent: int
+    parts: int
+    bounds: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.bounds is None:
+            self.bounds = partition_bounds(self.extent, self.parts)
+        self.bounds = np.asarray(self.bounds, dtype=np.int64)
+        if self.bounds.shape != (self.parts + 1,):
+            raise ValueError("bounds must have parts + 1 entries")
+        if self.bounds[0] != 0 or self.bounds[-1] != self.extent:
+            raise ValueError("bounds must cover [0, extent]")
+
+    def range_of(self, i: int) -> tuple[int, int]:
+        """``[start, stop)`` of chunk ``i``."""
+        return int(self.bounds[i]), int(self.bounds[i + 1])
+
+    def size_of(self, i: int) -> int:
+        """Number of elements in chunk ``i``."""
+        lo, hi = self.range_of(i)
+        return hi - lo
+
+    def owner_of(self, index: int) -> int:
+        """Chunk id that owns global ``index``."""
+        if not 0 <= index < self.extent:
+            raise IndexError(index)
+        return int(np.searchsorted(self.bounds, index, side="right") - 1)
+
+    def sizes(self) -> np.ndarray:
+        """All chunk sizes."""
+        return np.diff(self.bounds)
+
+    def __len__(self) -> int:
+        return self.parts
+
+
+def horizontal_partition(r: CSRMatrix, q: int) -> tuple[Partition1D, list[CSRMatrix]]:
+    """Split R by rows into ``q`` blocks (the X / model-parallel split)."""
+    part = Partition1D(r.shape[0], q)
+    blocks = [r.row_slice(*part.range_of(j)) for j in range(q)]
+    return part, blocks
+
+
+def vertical_partition(r: CSRMatrix, p: int) -> tuple[Partition1D, list[CSRMatrix]]:
+    """Split R by columns into ``p`` blocks (the Θ / data-parallel split)."""
+    part = Partition1D(r.shape[1], p)
+    blocks = [r.col_slice(*part.range_of(i)) for i in range(p)]
+    return part, blocks
+
+
+@dataclass
+class GridPartition:
+    """The ``p × q`` grid partition of R used by SU-ALS.
+
+    ``blocks[i][j]`` is ``R^(ij)``: the rows of X batch ``j`` restricted to
+    the columns owned by GPU ``i``.  Row indices inside a block are re-based
+    to the batch, column indices to the GPU's Θ partition.
+    """
+
+    row_partition: Partition1D
+    col_partition: Partition1D
+    blocks: list[list[CSRMatrix]]
+
+    @property
+    def p(self) -> int:
+        """Number of column (Θ / GPU) partitions."""
+        return len(self.col_partition)
+
+    @property
+    def q(self) -> int:
+        """Number of row (X batch) partitions."""
+        return len(self.row_partition)
+
+    def block(self, i: int, j: int) -> CSRMatrix:
+        """``R^(ij)``: column partition ``i``, row batch ``j``."""
+        return self.blocks[i][j]
+
+    def total_nnz(self) -> int:
+        """Sum of nnz over all blocks (must equal the original matrix)."""
+        return sum(b.nnz for row in self.blocks for b in row)
+
+
+def grid_partition(r: CSRMatrix, p: int, q: int) -> GridPartition:
+    """Grid-partition R into ``p`` column blocks × ``q`` row batches.
+
+    This is ``GridPartition(R, p, q)`` of Algorithm 3 line 4.  The row split
+    is applied first (cheap contiguous slices), then each row batch is split
+    by columns.
+    """
+    row_part = Partition1D(r.shape[0], q)
+    col_part = Partition1D(r.shape[1], p)
+    row_blocks = [r.row_slice(*row_part.range_of(j)) for j in range(q)]
+    blocks: list[list[CSRMatrix]] = []
+    for i in range(p):
+        lo, hi = col_part.range_of(i)
+        blocks.append([rb.col_slice(lo, hi) for rb in row_blocks])
+    return GridPartition(row_part, col_part, blocks)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ALSConfig
+from repro.datasets.registry import DatasetSpec
+from repro.datasets.synthetic import generate_ratings
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="session")
+def tiny_ratings():
+    """A small but non-trivial synthetic workload shared by many tests."""
+    spec = DatasetSpec("tiny", 300, 90, 4500, 8, 0.05, kind="synthetic")
+    return generate_ratings(spec, seed=42, noise_sigma=0.2)
+
+
+@pytest.fixture(scope="session")
+def medium_ratings():
+    """A slightly larger workload for the solver integration tests."""
+    spec = DatasetSpec("medium", 900, 220, 22_000, 12, 0.05, kind="synthetic")
+    return generate_ratings(spec, seed=7, noise_sigma=0.25)
+
+
+@pytest.fixture()
+def small_csr() -> CSRMatrix:
+    """A hand-checkable 4x5 CSR matrix (includes an empty row)."""
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 4.0, 5.0],
+            [6.0, 0.0, 0.0, 0.0, 7.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture()
+def small_dense(small_csr) -> np.ndarray:
+    return small_csr.to_dense()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def als_config() -> ALSConfig:
+    return ALSConfig(f=8, lam=0.05, iterations=3, seed=1, row_batch=128)
+
+
+def random_coo(m: int, n: int, nnz: int, seed: int = 0) -> COOMatrix:
+    """Helper used by several test modules to build random sparse matrices."""
+    gen = np.random.default_rng(seed)
+    rows = gen.integers(0, m, size=nnz)
+    cols = gen.integers(0, n, size=nnz)
+    data = gen.normal(size=nnz)
+    return COOMatrix((m, n), rows, cols, data)

@@ -1,0 +1,135 @@
+"""Tests for the reduction schemes and collectives (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.collective import broadcast_plan, gather_plan, scatter_plan
+from repro.comm.reduction import (
+    OnePhaseParallelReduction,
+    ReduceToOne,
+    TwoPhaseTopologyReduction,
+    numeric_reduce,
+    numeric_reduce_partitioned,
+)
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.topology import MachineTopology
+
+
+class TestNumericReduce:
+    def test_sum_matches_numpy(self, rng):
+        partials = [rng.normal(size=(6, 4)) for _ in range(4)]
+        np.testing.assert_allclose(numeric_reduce(partials), np.sum(partials, axis=0))
+
+    def test_partitioned_reduce_covers_all_rows(self, rng):
+        partials = [rng.normal(size=(10, 3)) for _ in range(3)]
+        slices = numeric_reduce_partitioned(partials, 3)
+        np.testing.assert_allclose(np.vstack(slices), np.sum(partials, axis=0))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            numeric_reduce([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            numeric_reduce([np.zeros((2, 2)), np.zeros((3, 2))])
+
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(min_value=1, max_value=6), rows=st.integers(min_value=1, max_value=20))
+    def test_property_partition_sizes_cover_rows(self, p, rows):
+        partials = [np.ones((rows, 2)) for _ in range(p)]
+        slices = numeric_reduce_partitioned(partials, p)
+        assert sum(s.shape[0] for s in slices) == rows
+        np.testing.assert_allclose(np.vstack(slices), p * np.ones((rows, 2)))
+
+
+class TestReductionSchedules:
+    def _machine(self, n_gpus=4, dual=True):
+        topo = MachineTopology.dual_socket(n_gpus) if dual else MachineTopology.single_socket(n_gpus)
+        return MultiGPUMachine(n_gpus=n_gpus, topology=topo)
+
+    def test_single_gpu_needs_no_transfers(self):
+        machine = MultiGPUMachine(1)
+        for scheme in (ReduceToOne(), OnePhaseParallelReduction(), TwoPhaseTopologyReduction()):
+            assert scheme.transfer_batches(machine, 1e9) in ([], [[]]) or all(
+                len(batch) == 0 for batch in scheme.transfer_batches(machine, 1e9)
+            )
+
+    def test_reduce_to_one_sends_everything_to_root(self):
+        machine = self._machine()
+        batches = ReduceToOne(root=0).transfer_batches(machine, 1e9)
+        assert len(batches) == 1
+        assert all(t.dst == "gpu:0" for t in batches[0])
+        assert len(batches[0]) == 3
+
+    def test_one_phase_all_to_all_volume(self):
+        machine = self._machine()
+        batches = OnePhaseParallelReduction().transfer_batches(machine, 4e9)
+        assert len(batches) == 1
+        assert len(batches[0]) == 12  # p*(p-1)
+        assert all(t.nbytes == pytest.approx(1e9) for t in batches[0])
+
+    def test_two_phase_has_two_batches_on_dual_socket(self):
+        machine = self._machine()
+        batches = TwoPhaseTopologyReduction().transfer_batches(machine, 4e9)
+        assert len(batches) == 2
+        # Phase 1 must stay intra-socket, phase 2 must cross sockets.
+        topo = machine.topology
+        for t in batches[0]:
+            a, b = int(t.src.split(":")[1]), int(t.dst.split(":")[1])
+            assert topo.same_socket(a, b)
+        for t in batches[1]:
+            a, b = int(t.src.split(":")[1]), int(t.dst.split(":")[1])
+            assert not topo.same_socket(a, b)
+
+    def test_two_phase_degenerates_on_single_socket(self):
+        machine = self._machine(dual=False)
+        two = TwoPhaseTopologyReduction().transfer_batches(machine, 4e9)
+        one = OnePhaseParallelReduction().transfer_batches(machine, 4e9)
+        assert len(two) == len(one) == 1
+        assert len(two[0]) == len(one[0])
+
+    def test_parallel_reduction_faster_than_reduce_to_one(self):
+        nbytes = 2e9
+        t_naive = ReduceToOne().simulate(self._machine(), nbytes)
+        t_parallel = OnePhaseParallelReduction().simulate(self._machine(), nbytes)
+        t_topo = TwoPhaseTopologyReduction().simulate(self._machine(), nbytes)
+        assert t_parallel < t_naive
+        assert t_topo < t_parallel
+
+    def test_solver_parallelism(self):
+        assert ReduceToOne().solver_parallelism(4) == 1
+        assert OnePhaseParallelReduction().solver_parallelism(4) == 4
+        assert TwoPhaseTopologyReduction().solver_parallelism(4) == 4
+
+
+class TestCollectives:
+    def test_scatter_plan_sizes(self):
+        machine = MultiGPUMachine(3, topology=MachineTopology.single_socket(3))
+        plan = scatter_plan(machine, [1e6, 2e6, 0.0])
+        assert len(plan) == 2  # zero-byte transfer dropped
+        assert plan[0].dst == "gpu:0" and plan[1].dst == "gpu:1"
+
+    def test_scatter_plan_validates_length(self):
+        machine = MultiGPUMachine(2)
+        with pytest.raises(ValueError):
+            scatter_plan(machine, [1e6])
+
+    def test_gather_plan_directions(self):
+        machine = MultiGPUMachine(2)
+        plan = gather_plan(machine, [1e6, 1e6])
+        assert all(t.src.startswith("gpu:") and t.dst.startswith("host:") for t in plan)
+
+    def test_broadcast_plan_excludes_root(self):
+        machine = MultiGPUMachine(4)
+        plan = broadcast_plan(machine, root=2, nbytes=1e6)
+        assert len(plan) == 3
+        assert all(t.src == "gpu:2" for t in plan)
+
+    def test_broadcast_invalid_root(self):
+        machine = MultiGPUMachine(2)
+        with pytest.raises(ValueError):
+            broadcast_plan(machine, root=5, nbytes=1.0)

@@ -1,0 +1,185 @@
+"""Tests for the simulated-GPU substrate: memory, kernels, devices."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernel import KernelProfile, estimate_kernel_time
+from repro.gpu.memory import MemoryKind, MemorySpace, OutOfDeviceMemory
+from repro.gpu.specs import CPU_30_CORE_NODE, GK210, TITAN_X, cpu_node_spec
+
+
+class TestSpecs:
+    def test_titan_x_headline_numbers(self):
+        assert TITAN_X.global_bytes == 12 * 1024**3
+        assert TITAN_X.peak_sp_gflops == pytest.approx(6600.0)
+        assert 0 < TITAN_X.compute_efficiency <= 1
+
+    def test_effective_gflops_below_peak(self):
+        for spec in (TITAN_X, GK210, CPU_30_CORE_NODE):
+            assert spec.effective_gflops < spec.peak_sp_gflops
+
+    def test_register_file_larger_than_shared_on_gk210(self):
+        # §3.4: "the GPU register file ... is larger ... compared to its shared memory"
+        assert GK210.register_bytes_per_sm > GK210.shared_bytes_per_sm
+
+    def test_with_memory_override(self):
+        small = TITAN_X.with_memory(4 * 1024**3)
+        assert small.global_bytes == 4 * 1024**3
+        assert small.global_bw == TITAN_X.global_bw
+
+    def test_scaled_spec(self):
+        fast = TITAN_X.scaled(2.0)
+        assert fast.peak_sp_gflops == pytest.approx(2 * TITAN_X.peak_sp_gflops)
+        assert fast.global_bw == pytest.approx(2 * TITAN_X.global_bw)
+
+    def test_cpu_node_spec_is_not_gpu(self):
+        node = cpu_node_spec("test", cores=8)
+        assert not node.is_gpu
+        assert node.sm_count == 8
+
+
+class TestMemorySpace:
+    def _space(self, capacity=1000):
+        return MemorySpace(MemoryKind.GLOBAL, capacity, 1e9, owner="test")
+
+    def test_allocate_and_free(self):
+        space = self._space()
+        alloc = space.allocate("a", 400)
+        assert space.used_bytes == 400
+        space.free(alloc)
+        assert space.used_bytes == 0
+
+    def test_over_allocation_raises(self):
+        space = self._space(100)
+        space.allocate("a", 80)
+        with pytest.raises(OutOfDeviceMemory):
+            space.allocate("b", 30)
+
+    def test_peak_tracking(self):
+        space = self._space()
+        a = space.allocate("a", 600)
+        space.free(a)
+        space.allocate("b", 100)
+        assert space.peak_bytes == 600
+
+    def test_double_free_is_idempotent(self):
+        space = self._space()
+        alloc = space.allocate("a", 10)
+        space.free(alloc)
+        space.free(alloc)
+        assert space.used_bytes == 0
+
+    def test_would_fit_and_utilisation(self):
+        space = self._space(1000)
+        space.allocate("a", 250)
+        assert space.would_fit(750)
+        assert not space.would_fit(751)
+        assert space.utilisation() == pytest.approx(0.25)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            self._space().allocate("a", -1)
+
+    def test_free_all(self):
+        space = self._space()
+        for i in range(5):
+            space.allocate(f"x{i}", 10)
+        space.free_all()
+        assert space.used_bytes == 0 and not space.allocations
+
+
+class TestKernelCostModel:
+    def test_pure_compute_kernel(self):
+        profile = KernelProfile("flops-only", flops=TITAN_X.effective_gflops * 1e9)
+        assert estimate_kernel_time(TITAN_X, profile) == pytest.approx(1.0, rel=1e-6)
+
+    def test_memory_paths_are_additive(self):
+        gb = 1e9
+        p_global = KernelProfile("g", traffic={MemoryKind.GLOBAL: 336 * gb})
+        p_shared = KernelProfile("s", traffic={MemoryKind.SHARED: 2.7e12})
+        both = KernelProfile("gs", traffic={MemoryKind.GLOBAL: 336 * gb, MemoryKind.SHARED: 2.7e12})
+        t_g = estimate_kernel_time(TITAN_X, p_global)
+        t_s = estimate_kernel_time(TITAN_X, p_shared)
+        t_both = estimate_kernel_time(TITAN_X, both)
+        assert t_both == pytest.approx(t_g + t_s, rel=1e-6)
+
+    def test_texture_disabled_costs_more(self):
+        profile = KernelProfile("gather", texture_bytes=50e9, texture_reuse=0.8)
+        with_tex = estimate_kernel_time(TITAN_X, profile, use_texture=True)
+        without_tex = estimate_kernel_time(TITAN_X, profile, use_texture=False)
+        assert without_tex > with_tex
+
+    def test_uncoalesced_penalty_applied(self):
+        coalesced = KernelProfile("c", traffic={MemoryKind.GLOBAL: 10e9})
+        scattered = KernelProfile("u", uncoalesced_global_bytes=10e9)
+        assert estimate_kernel_time(TITAN_X, scattered) == pytest.approx(
+            estimate_kernel_time(TITAN_X, coalesced) * TITAN_X.uncoalesced_penalty, rel=1e-6
+        )
+
+    def test_block_overhead_scales_with_blocks(self):
+        a = KernelProfile("a", flops=1.0, blocks=1000)
+        b = KernelProfile("b", flops=1.0, blocks=2000)
+        delta = estimate_kernel_time(TITAN_X, b) - estimate_kernel_time(TITAN_X, a)
+        assert delta == pytest.approx(1000 * TITAN_X.block_overhead_s, rel=1e-6)
+
+    def test_merged_profile_adds_resources(self):
+        a = KernelProfile("a", flops=10, traffic={MemoryKind.GLOBAL: 5}, blocks=2)
+        b = KernelProfile("b", flops=20, traffic={MemoryKind.GLOBAL: 7, MemoryKind.SHARED: 3}, blocks=1)
+        merged = a.merged(b)
+        assert merged.flops == 30
+        assert merged.traffic[MemoryKind.GLOBAL] == 12
+        assert merged.traffic[MemoryKind.SHARED] == 3
+        assert merged.blocks == 3
+
+    def test_arithmetic_intensity(self):
+        profile = KernelProfile("ai", flops=100.0, traffic={MemoryKind.GLOBAL: 50.0})
+        assert profile.arithmetic_intensity() == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        flops=st.floats(min_value=0, max_value=1e13),
+        gbytes=st.floats(min_value=0, max_value=1e11),
+        sbytes=st.floats(min_value=0, max_value=1e12),
+    )
+    def test_property_time_is_monotone_in_resources(self, flops, gbytes, sbytes):
+        base = KernelProfile("base", flops=flops, traffic={MemoryKind.GLOBAL: gbytes, MemoryKind.SHARED: sbytes})
+        bigger = KernelProfile(
+            "bigger", flops=flops * 2 + 1, traffic={MemoryKind.GLOBAL: gbytes * 2 + 1, MemoryKind.SHARED: sbytes * 2 + 1}
+        )
+        assert estimate_kernel_time(TITAN_X, bigger) >= estimate_kernel_time(TITAN_X, base)
+
+
+class TestGPUDevice:
+    def test_allocation_tracking_across_spaces(self):
+        dev = GPUDevice(TITAN_X)
+        dev.allocate("theta", 1_000_000, MemoryKind.GLOBAL)
+        dev.allocate("bin", 10_000, MemoryKind.SHARED)
+        assert dev.memory[MemoryKind.GLOBAL].used_bytes == 1_000_000
+        assert dev.memory[MemoryKind.SHARED].used_bytes == 10_000
+        dev.reset_memory()
+        assert dev.global_free_bytes() == TITAN_X.global_bytes
+
+    def test_oom_at_device_capacity(self):
+        dev = GPUDevice(TITAN_X)
+        with pytest.raises(OutOfDeviceMemory):
+            dev.allocate("too-big", TITAN_X.global_bytes + 1)
+
+    def test_execute_accumulates_counters(self):
+        dev = GPUDevice(TITAN_X)
+        profile = KernelProfile("k", flops=1e9, traffic={MemoryKind.GLOBAL: 1e8}, blocks=10)
+        t1 = dev.execute(profile)
+        t2 = dev.execute(profile)
+        assert t1 == pytest.approx(t2)
+        assert dev.counters.kernel_launches == 2
+        assert dev.counters.flops == pytest.approx(2e9)
+        assert dev.busy_seconds() == pytest.approx(t1 + t2)
+        assert dev.counters.kernel_seconds["k"] == pytest.approx(t1 + t2)
+
+    def test_achieved_gflops_bounded_by_effective(self):
+        dev = GPUDevice(TITAN_X)
+        dev.execute(KernelProfile("k", flops=1e12))
+        assert dev.counters.achieved_gflops() <= TITAN_X.effective_gflops * 1.001

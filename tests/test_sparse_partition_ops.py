@@ -1,0 +1,129 @@
+"""Tests for partitioning (Algorithm 3 splits) and the sparse kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    csr_column_gather,
+    csr_row_dense_product,
+    csr_spmv,
+    rmse_from_residual,
+    sampled_residual,
+)
+from repro.sparse.partition import (
+    Partition1D,
+    grid_partition,
+    horizontal_partition,
+    partition_bounds,
+    vertical_partition,
+)
+
+from tests.conftest import random_coo
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        np.testing.assert_array_equal(partition_bounds(10, 2), [0, 5, 10])
+
+    def test_uneven_split_gives_extra_to_first(self):
+        np.testing.assert_array_equal(partition_bounds(10, 3), [0, 4, 7, 10])
+
+    def test_more_parts_than_elements(self):
+        bounds = partition_bounds(2, 4)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_bounds(5, 0)
+        with pytest.raises(ValueError):
+            partition_bounds(-1, 2)
+
+
+class TestPartition1D:
+    def test_owner_of(self):
+        part = Partition1D(10, 3)
+        assert part.owner_of(0) == 0
+        assert part.owner_of(9) == 2
+        with pytest.raises(IndexError):
+            part.owner_of(10)
+
+    def test_sizes_sum_to_extent(self):
+        part = Partition1D(17, 5)
+        assert part.sizes().sum() == 17
+        assert len(part) == 5
+
+
+class TestMatrixPartitioning:
+    def test_horizontal_partition_covers_matrix(self, small_csr, small_dense):
+        part, blocks = horizontal_partition(small_csr, 2)
+        stacked = np.vstack([b.to_dense() for b in blocks])
+        np.testing.assert_allclose(stacked, small_dense)
+
+    def test_vertical_partition_covers_matrix(self, small_csr, small_dense):
+        part, blocks = vertical_partition(small_csr, 3)
+        stacked = np.hstack([b.to_dense() for b in blocks])
+        np.testing.assert_allclose(stacked, small_dense)
+
+    def test_grid_partition_preserves_nnz_and_values(self):
+        csr = random_coo(40, 30, 300, seed=5).to_csr()
+        grid = grid_partition(csr, p=3, q=4)
+        assert grid.p == 3 and grid.q == 4
+        assert grid.total_nnz() == csr.nnz
+        # Reassemble the dense matrix from the grid blocks.
+        dense = np.zeros(csr.shape)
+        for i in range(grid.p):
+            c_lo, c_hi = grid.col_partition.range_of(i)
+            for j in range(grid.q):
+                r_lo, r_hi = grid.row_partition.range_of(j)
+                dense[r_lo:r_hi, c_lo:c_hi] = grid.block(i, j).to_dense()
+        np.testing.assert_allclose(dense, csr.to_dense())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.integers(min_value=1, max_value=4),
+        q=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_property_grid_partition_conserves_mass(self, p, q, seed):
+        csr = random_coo(25, 25, 120, seed=seed).to_csr()
+        grid = grid_partition(csr, p, q)
+        total = sum(b.data.sum() for row in grid.blocks for b in row)
+        assert total == pytest.approx(csr.data.sum())
+
+
+class TestSparseOps:
+    def test_spmv_matches_dense(self, small_csr, small_dense, rng):
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(csr_spmv(small_csr, x), small_dense @ x)
+
+    def test_spmv_validates_length(self, small_csr):
+        with pytest.raises(ValueError):
+            csr_spmv(small_csr, np.zeros(3))
+
+    def test_row_dense_product_is_rhs_of_eq2(self, small_csr, small_dense, rng):
+        theta = rng.normal(size=(5, 3))
+        expected = small_dense @ theta
+        np.testing.assert_allclose(csr_row_dense_product(small_csr, theta), expected)
+
+    def test_column_gather_returns_rated_columns(self, small_csr, rng):
+        theta = rng.normal(size=(5, 3))
+        gathered = csr_column_gather(small_csr, theta, 2)
+        np.testing.assert_allclose(gathered, theta[[1, 3, 4]])
+
+    def test_sampled_residual_zero_for_exact_factors(self, rng):
+        x = rng.normal(size=(6, 3))
+        theta = rng.normal(size=(4, 3))
+        dense = x @ theta.T
+        csr = CSRMatrix.from_dense(dense)
+        residual = sampled_residual(csr, x, theta)
+        np.testing.assert_allclose(residual, 0.0, atol=1e-10)
+
+    def test_rmse_from_residual(self):
+        assert rmse_from_residual(np.array([3.0, -4.0])) == pytest.approx(np.sqrt(12.5))
+        assert rmse_from_residual(np.zeros(0)) == 0.0
