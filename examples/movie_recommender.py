@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.core import ALSConfig, CuMF
 from repro.datasets import DatasetSpec, generate_ratings, save_ratings_npz, load_ratings_npz, train_test_split
-from repro.sparse import COOMatrix
 
 
 def build_catalogue(n_items: int) -> list[str]:

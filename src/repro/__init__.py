@@ -16,6 +16,9 @@ simulated GPU substrate:
 * :mod:`repro.datasets` — workload registry and synthetic generators;
 * :mod:`repro.baselines` / :mod:`repro.cluster` — the CPU competitors and
   the cluster cost model;
+* :mod:`repro.serving` — the online half: a sharded
+  :class:`~repro.serving.store.FactorStore` serving batched top-k
+  queries, cold-start fold-in, and a query-traffic simulator;
 * :mod:`repro.experiments` — one driver per table/figure of the paper.
 
 Quick start::
@@ -31,7 +34,8 @@ Quick start::
 
 from repro.core.config import ALSConfig
 from repro.core.trainer import CuMF
+from repro.serving import FactorStore, RequestSimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["ALSConfig", "CuMF", "__version__"]
+__all__ = ["ALSConfig", "CuMF", "FactorStore", "RequestSimulator", "__version__"]

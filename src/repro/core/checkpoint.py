@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,12 +22,18 @@ _CKPT_RE = re.compile(r"^cumf_iter(\d+)\.npz$")
 
 @dataclass
 class Checkpoint:
-    """One restored checkpoint."""
+    """One restored checkpoint.
+
+    ``extras`` holds any additional scalar/array metadata that was passed
+    to :meth:`CheckpointManager.save` (e.g. the serving layer persists
+    its fold-in hyper-parameters alongside the factors).
+    """
 
     iteration: int
     x: np.ndarray
     theta: np.ndarray
     path: str
+    extras: dict = field(default_factory=dict)
 
 
 class CheckpointManager:
@@ -44,13 +50,20 @@ class CheckpointManager:
     def _path(self, iteration: int) -> str:
         return os.path.join(self.directory, f"cumf_iter{iteration}.npz")
 
-    def save(self, iteration: int, x: np.ndarray, theta: np.ndarray) -> str:
-        """Atomically persist the factors of one iteration; prunes old files."""
+    def save(self, iteration: int, x: np.ndarray, theta: np.ndarray, **extras) -> str:
+        """Atomically persist the factors of one iteration; prunes old files.
+
+        ``extras`` (array-convertible values) are stored in the same npz
+        and surface again on :attr:`Checkpoint.extras`.
+        """
         if iteration < 0:
             raise ValueError("iteration must be non-negative")
+        reserved = {"iteration", "x", "theta"} & extras.keys()
+        if reserved:
+            raise ValueError(f"reserved checkpoint keys: {sorted(reserved)}")
         path = self._path(iteration)
         tmp = path + ".tmp"
-        np.savez_compressed(tmp, iteration=np.int64(iteration), x=np.asarray(x), theta=np.asarray(theta))
+        np.savez_compressed(tmp, iteration=np.int64(iteration), x=np.asarray(x), theta=np.asarray(theta), **extras)
         tmp_real = tmp if os.path.exists(tmp) else tmp + ".npz"
         os.replace(tmp_real, path)
         self._prune()
@@ -85,4 +98,5 @@ class CheckpointManager:
         """Restore a specific iteration's checkpoint."""
         path = self._path(iteration)
         with np.load(path) as blob:
-            return Checkpoint(iteration=int(blob["iteration"]), x=blob["x"], theta=blob["theta"], path=path)
+            extras = {k: blob[k] for k in blob.files if k not in ("iteration", "x", "theta")}
+            return Checkpoint(iteration=int(blob["iteration"]), x=blob["x"], theta=blob["theta"], path=path, extras=extras)

@@ -1,9 +1,13 @@
 """High-level cuMF facade: fit / predict / recommend / resume.
 
 :class:`CuMF` is the API a downstream user would adopt.  It hides the
-choice between the three solver levels behind a ``backend`` argument,
-optionally checkpoints every iteration, and exposes prediction and top-k
-recommendation helpers on the learned factors.
+choice between the three solver levels behind a ``backend`` argument and
+optionally checkpoints every iteration.  Prediction and top-k
+recommendation delegate to a :class:`~repro.serving.store.FactorStore`
+snapshot of the learned factors, so the single-user and the batched
+serving paths share one code path; :meth:`CuMF.export_store` hands the
+same snapshot to the serving tier proper (sharded, simulated-time
+accounted, fold-in capable).
 """
 
 from __future__ import annotations
@@ -70,6 +74,7 @@ class CuMF:
         self.reduction = reduction
         self.checkpoints = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
         self.result: FitResult | None = None
+        self._store = None
 
     # ------------------------------------------------------------------ #
     def _build_solver(self):
@@ -93,6 +98,7 @@ class CuMF:
         if self.checkpoints is not None and result.history:
             self.checkpoints.save(result.history[-1].iteration, result.x, result.theta)
         self.result = result
+        self._store = None  # invalidate the serving snapshot of a previous fit
         return result
 
     # ------------------------------------------------------------------ #
@@ -101,14 +107,28 @@ class CuMF:
             raise RuntimeError("call fit() before predicting or recommending")
         return self.result
 
+    def export_store(self, machine: MultiGPUMachine | None = None, n_shards: int | None = None, **kwargs):
+        """Snapshot the fitted factors into a servable :class:`FactorStore`.
+
+        The store shards Θ across ``n_shards`` simulated devices (its own
+        machine by default, so serving does not advance the training
+        clock), serves batched top-k queries with simulated-time
+        accounting, and folds in cold-start users against the frozen Θ.
+        """
+        from repro.serving.store import FactorStore
+
+        return FactorStore.from_result(self._require_fit(), machine=machine, n_shards=n_shards, **kwargs)
+
+    def _serving_store(self):
+        """The cached store backing predict/recommend (built on first use)."""
+        if self._store is None:
+            self._store = self.export_store()
+        return self._store
+
     def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Predicted ratings for aligned arrays of user and item indices."""
-        res = self._require_fit()
-        users = np.asarray(users, dtype=np.int64)
-        items = np.asarray(items, dtype=np.int64)
-        if users.shape != items.shape:
-            raise ValueError("users and items must have the same shape")
-        return np.einsum("ij,ij->i", res.x[users], res.theta[items])
+        self._require_fit()
+        return self._serving_store().predict(users, items)
 
     def score(self, ratings: CSRMatrix) -> float:
         """RMSE of the fitted model against a rating matrix."""
@@ -119,19 +139,15 @@ class CuMF:
         """Top-``k`` items for ``user`` by predicted rating.
 
         ``exclude`` (typically the training matrix) removes items the user
-        has already rated.
+        has already rated.  Raises :class:`ValueError` when ``user`` is
+        outside the trained range or ``k`` is not positive.
         """
-        res = self._require_fit()
-        if not 0 <= user < res.x.shape[0]:
-            raise IndexError(f"user {user} out of range")
-        if k <= 0:
-            raise ValueError("k must be positive")
-        scores = res.theta @ res.x[user]
-        if exclude is not None:
-            rated, _ = exclude.row(user)
-            scores = scores.copy()
-            scores[rated] = -np.inf
-        k = min(k, scores.shape[0])
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
-        return [(int(i), float(scores[i])) for i in top if np.isfinite(scores[i])]
+        self._require_fit()
+        return self._serving_store().recommend(user, k=k, exclude=exclude)
+
+    def recommend_batch(
+        self, users: np.ndarray, k: int = 10, exclude: CSRMatrix | None = None
+    ) -> list[list[tuple[int, float]]]:
+        """Batched top-``k``: one recommendation list per user in ``users``."""
+        self._require_fit()
+        return self._serving_store().recommend_batch(users, k=k, exclude=exclude)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.gpu.topology import Link, MachineTopology
+from repro.gpu.topology import MachineTopology
 
 __all__ = ["Transfer", "TransferEngine", "TransferReport"]
 

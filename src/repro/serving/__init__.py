@@ -1,0 +1,34 @@
+"""Online serving: turn trained factors into a query-servable model.
+
+Training (the paper's contribution) ends with two factor matrices; a
+production recommender then has to answer top-k queries under heavy
+traffic and absorb users who arrived after the last training run.  This
+package is that missing online half:
+
+* :class:`~repro.serving.store.FactorStore` — snapshots a
+  :class:`~repro.core.config.FitResult` from any backend, shards Θ
+  row-wise across the simulated devices of a
+  :class:`~repro.gpu.machine.MultiGPUMachine`, and serves batched top-k
+  queries with per-device simulated-time accounting;
+* :mod:`~repro.serving.foldin` — the cold-start solver: a new user's
+  factor is solved against the frozen Θ with the same Hermitian/solve
+  kernels the trainer uses, so a fold-in is numerically one Base-ALS
+  user update;
+* :class:`~repro.serving.simulator.RequestSimulator` — Poisson/bursty
+  query traffic driven through the store in batched windows, reporting
+  throughput and latency percentiles.
+"""
+
+from repro.serving.foldin import fold_in_user, fold_in_users
+from repro.serving.simulator import QueryTrace, RequestSimulator, TrafficReport
+from repro.serving.store import FactorStore, ServingStats
+
+__all__ = [
+    "FactorStore",
+    "ServingStats",
+    "fold_in_user",
+    "fold_in_users",
+    "QueryTrace",
+    "RequestSimulator",
+    "TrafficReport",
+]

@@ -1,0 +1,222 @@
+"""Query-traffic simulation against a :class:`~repro.serving.store.FactorStore`.
+
+The serving tier is driven the way an online recommender actually sees
+load: requests arrive as a Poisson process (optionally with bursts), are
+coalesced into batched windows — a window dispatches when it is full or
+when its collection deadline passes, whichever comes first, the same
+policy a batched-window cache/ANN scheduler uses — and each batch is
+served by one :meth:`FactorStore.recommend_batch` call.  Time is the
+simulated-seconds timeline: arrivals come from the trace, service times
+from the store's per-device kernel estimates, so the report shows the
+throughput/latency trade-off of the batching window on the simulated
+hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import powerlaw_weights
+from repro.serving.store import FactorStore
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["QueryTrace", "RequestSimulator", "TrafficReport"]
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """A pre-generated stream of queries: arrival times plus user ids."""
+
+    arrivals: np.ndarray
+    users: np.ndarray
+    label: str = "trace"
+
+    def __post_init__(self) -> None:
+        arrivals = np.asarray(self.arrivals, dtype=np.float64)
+        users = np.asarray(self.users, dtype=np.int64)
+        if arrivals.ndim != 1 or arrivals.shape != users.shape:
+            raise ValueError("arrivals and users must be aligned 1-D arrays")
+        if arrivals.size and np.any(np.diff(arrivals) < 0):
+            raise ValueError("arrivals must be non-decreasing")
+        object.__setattr__(self, "arrivals", arrivals)
+        object.__setattr__(self, "users", users)
+
+    @property
+    def n_requests(self) -> int:
+        """Number of queries in the trace."""
+        return int(self.arrivals.size)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival."""
+        return float(self.arrivals[-1]) if self.arrivals.size else 0.0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sample_users(
+        n_requests: int, n_users: int, rng: np.random.Generator, user_exponent: float
+    ) -> np.ndarray:
+        weights = powerlaw_weights(n_users, user_exponent, rng)
+        return rng.choice(n_users, size=n_requests, p=weights).astype(np.int64)
+
+    @classmethod
+    def poisson(
+        cls,
+        n_requests: int,
+        rate_qps: float,
+        n_users: int,
+        seed: int = 0,
+        user_exponent: float = 0.8,
+    ) -> "QueryTrace":
+        """Poisson arrivals at ``rate_qps`` with power-law user popularity."""
+        if n_requests <= 0 or rate_qps <= 0 or n_users <= 0:
+            raise ValueError("n_requests, rate_qps and n_users must be positive")
+        rng = np.random.default_rng(seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / rate_qps, size=n_requests))
+        users = cls._sample_users(n_requests, n_users, rng, user_exponent)
+        return cls(arrivals, users, label=f"poisson@{rate_qps:g}qps")
+
+    @classmethod
+    def bursty(
+        cls,
+        n_requests: int,
+        base_qps: float,
+        burst_qps: float,
+        n_users: int,
+        burst_every_s: float = 1.0,
+        burst_len_s: float = 0.2,
+        seed: int = 0,
+        user_exponent: float = 0.8,
+    ) -> "QueryTrace":
+        """On/off traffic: ``base_qps`` with periodic bursts of ``burst_qps``."""
+        if min(n_requests, base_qps, burst_qps, n_users) <= 0:
+            raise ValueError("n_requests, rates and n_users must be positive")
+        if burst_len_s <= 0 or burst_every_s <= burst_len_s:
+            raise ValueError("need 0 < burst_len_s < burst_every_s")
+        rng = np.random.default_rng(seed)
+        arrivals = np.empty(n_requests, dtype=np.float64)
+        t = 0.0
+        quiet_len = burst_every_s - burst_len_s
+        for i in range(n_requests):
+            in_burst = (t % burst_every_s) >= quiet_len
+            rate = burst_qps if in_burst else base_qps
+            t += rng.exponential(1.0 / rate)
+            arrivals[i] = t
+        users = cls._sample_users(n_requests, n_users, rng, user_exponent)
+        return cls(arrivals, users, label=f"bursty@{base_qps:g}/{burst_qps:g}qps")
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Outcome of replaying one trace through a store."""
+
+    label: str
+    n_requests: int
+    n_batches: int
+    mean_batch_size: float
+    makespan_s: float
+    throughput_qps: float
+    service_seconds: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_max_s: float
+    wall_seconds: float
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        return (
+            f"trace {self.label}: {self.n_requests} queries in {self.n_batches} batches "
+            f"(mean {self.mean_batch_size:.1f}/batch)\n"
+            f"  simulated throughput {self.throughput_qps:,.0f} qps over {self.makespan_s:.4f} s "
+            f"(service {self.service_seconds:.4f} s)\n"
+            f"  simulated latency p50 {self.latency_p50_s * 1e3:.2f} ms, "
+            f"p95 {self.latency_p95_s * 1e3:.2f} ms, max {self.latency_max_s * 1e3:.2f} ms\n"
+            f"  host wall time {self.wall_seconds:.3f} s"
+        )
+
+
+class RequestSimulator:
+    """Replays a :class:`QueryTrace` through a store in batched windows.
+
+    Parameters
+    ----------
+    store:
+        The serving store.
+    k:
+        Top-k size of every query.
+    exclude:
+        Optional seen-item matrix applied to every query.
+    max_batch:
+        A window dispatches as soon as it holds this many requests.
+    window_s:
+        A window also dispatches once this much (simulated) time passed
+        since its first request arrived — the latency/throughput knob.
+    """
+
+    def __init__(
+        self,
+        store: FactorStore,
+        k: int = 10,
+        exclude: CSRMatrix | None = None,
+        max_batch: int = 256,
+        window_s: float = 0.02,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        self.store = store
+        self.k = k
+        self.exclude = exclude
+        self.max_batch = max_batch
+        self.window_s = window_s
+
+    def run(self, trace: QueryTrace) -> TrafficReport:
+        """Serve every query in the trace; returns the traffic report."""
+        arrivals, users = trace.arrivals, trace.users
+        n = trace.n_requests
+        latencies = np.empty(n, dtype=np.float64)
+        server_free = 0.0
+        service_total = 0.0
+        n_batches = 0
+        i = 0
+        wall_start = time.perf_counter()
+        while i < n:
+            # Collect the window: everything that has arrived by the time
+            # the window closes (deadline or server availability) joins,
+            # capped at max_batch.
+            horizon = max(arrivals[i] + self.window_s, server_free)
+            j = i
+            while j < n and j - i < self.max_batch and arrivals[j] <= horizon:
+                j += 1
+            if j - i == self.max_batch:
+                dispatch = max(arrivals[j - 1], server_free)
+            else:
+                dispatch = horizon
+            before = self.store.stats.simulated_seconds
+            self.store.recommend_batch(users[i:j], k=self.k, exclude=self.exclude)
+            service = self.store.stats.simulated_seconds - before
+            done = dispatch + service
+            latencies[i:j] = done - arrivals[i:j]
+            server_free = done
+            service_total += service
+            n_batches += 1
+            i = j
+        wall = time.perf_counter() - wall_start
+        makespan = server_free - float(arrivals[0]) if n else 0.0
+        return TrafficReport(
+            label=trace.label,
+            n_requests=n,
+            n_batches=n_batches,
+            mean_batch_size=n / n_batches if n_batches else 0.0,
+            makespan_s=makespan,
+            throughput_qps=n / makespan if makespan > 0 else float("inf"),
+            service_seconds=service_total,
+            latency_p50_s=float(np.percentile(latencies, 50)) if n else 0.0,
+            latency_p95_s=float(np.percentile(latencies, 95)) if n else 0.0,
+            latency_max_s=float(latencies.max()) if n else 0.0,
+            wall_seconds=wall,
+        )

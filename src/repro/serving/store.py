@@ -1,0 +1,456 @@
+"""Query-servable snapshot of trained factors, sharded across devices.
+
+:class:`FactorStore` is the bridge between training and serving.  It
+freezes the factor matrices of a :class:`~repro.core.config.FitResult`
+(any backend), shards Θ row-wise over the devices of a simulated
+:class:`~repro.gpu.machine.MultiGPUMachine` with the same
+:class:`~repro.sparse.partition.Partition1D` machinery SU-ALS uses for
+training, and answers top-k queries in batches:
+
+* a batch of B users is scored against all N items in blocked matmuls
+  (one GEMM per Θ shard, i.e. per device), in single precision like the
+  cuMF kernels;
+* each shard selects its local top-k candidates with ``np.argpartition``
+  and the per-user candidates are merged on the host — the classic
+  scatter/gather top-k of a sharded ANN/recommender tier;
+* items a user has already rated are masked out from a CSR matrix
+  (typically the training matrix);
+* every batch advances the machine's simulated clock with per-device
+  kernel and transfer estimates via :mod:`repro.gpu.kernel`, so the
+  batching advantage (Θ is read once per batch instead of once per
+  query) is visible in simulated throughput exactly like the training
+  figures.
+
+Factors are stored in float64 for numerics (predict, fold-in) and in a
+single-precision scoring copy for the top-k path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.config import ALSConfig, FitResult
+from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
+from repro.gpu.kernel import KernelProfile
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.memory import MemoryKind
+from repro.serving.foldin import fold_in_user
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import Partition1D
+
+__all__ = ["FactorStore", "ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Running counters of one store's serving activity."""
+
+    queries: int = 0
+    batches: int = 0
+    fold_ins: int = 0
+    simulated_seconds: float = 0.0
+    per_device_seconds: dict = field(default_factory=dict)
+
+    def simulated_qps(self) -> float:
+        """Queries per simulated second (inf for an idle store)."""
+        if self.simulated_seconds == 0.0:
+            return float("inf") if self.queries else 0.0
+        return self.queries / self.simulated_seconds
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for printing / reports."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "fold_ins": self.fold_ins,
+            "simulated_seconds": self.simulated_seconds,
+            "simulated_qps": self.simulated_qps(),
+        }
+
+
+class FactorStore:
+    """Serves top-k recommendations from frozen factor matrices.
+
+    Parameters
+    ----------
+    x, theta:
+        Trained factor matrices, ``(m, f)`` and ``(n, f)``.
+    lam:
+        Regularization constant used for cold-start fold-ins (take it
+        from the training config so a fold-in equals a training update).
+    weighted:
+        Whether fold-ins use the weighted-λ-regularization (eq. 1).
+    machine:
+        Simulated machine whose devices hold the Θ shards.  Defaults to
+        a fresh machine with ``n_shards`` GPUs.
+    n_shards:
+        Number of row-wise Θ shards; defaults to the machine's GPU
+        count (or 1 when neither is given).
+    score_dtype:
+        Precision of the scoring copy (float32, like the cuMF kernels).
+    solver:
+        Name of the solver that produced the factors (informational).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        theta: np.ndarray,
+        *,
+        lam: float = 0.05,
+        weighted: bool = True,
+        machine: MultiGPUMachine | None = None,
+        n_shards: int | None = None,
+        score_dtype: type = np.float32,
+        solver: str = "",
+    ):
+        # Snapshot semantics: the store owns private, immutable copies, so
+        # later training runs cannot mutate what is being served.
+        x = np.array(x, dtype=np.float64, order="C", copy=True)
+        theta = np.array(theta, dtype=np.float64, order="C", copy=True)
+        if x.ndim != 2 or theta.ndim != 2:
+            raise ValueError("x and theta must be 2-D factor matrices")
+        if x.shape[1] != theta.shape[1]:
+            raise ValueError(
+                f"factor dimensions disagree: x has f={x.shape[1]}, theta f={theta.shape[1]}"
+            )
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        if machine is not None and n_shards is not None and n_shards != machine.n_gpus:
+            raise ValueError(
+                f"asked for {n_shards} shards on a machine with {machine.n_gpus} GPUs"
+            )
+        if n_shards is None:
+            n_shards = machine.n_gpus if machine is not None else 1
+        if not 1 <= n_shards <= max(1, theta.shape[0]):
+            raise ValueError(f"n_shards must be in [1, {max(1, theta.shape[0])}]")
+
+        self.x = x
+        self.theta = theta
+        self.x.setflags(write=False)
+        self.theta.setflags(write=False)
+        # Users [0, _n_trained_users) came from training and map 1:1 onto
+        # the rows of an exclude matrix; later fold-ins live above this.
+        self._n_trained_users = x.shape[0]
+        self.lam = float(lam)
+        self.weighted = weighted
+        self.solver = solver
+        self.machine = machine or MultiGPUMachine(n_gpus=n_shards)
+        self.score_dtype = score_dtype
+        self.partition = Partition1D(theta.shape[0], n_shards)
+        self.stats = ServingStats()
+        self._x_score = np.ascontiguousarray(x, dtype=score_dtype)
+        self._shards = [
+            np.ascontiguousarray(theta[lo:hi], dtype=score_dtype)
+            for lo, hi in (self.partition.range_of(i) for i in range(n_shards))
+        ]
+        self._folded_items: dict[int, np.ndarray] = {}
+        # Profile construction reuses the training kernel models, which
+        # are parameterised by an ALSConfig.
+        self._profile_config = ALSConfig(f=x.shape[1], lam=self.lam)
+
+    # ------------------------------------------------------------------ #
+    # construction / persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_result(cls, result: FitResult, **kwargs) -> "FactorStore":
+        """Snapshot a finished training run (any backend)."""
+        if result.config is not None:
+            kwargs.setdefault("lam", result.config.lam)
+        kwargs.setdefault("solver", result.solver)
+        return cls(result.x, result.theta, **kwargs)
+
+    @classmethod
+    def load(cls, directory: str, **kwargs) -> "FactorStore":
+        """Restore a store from a directory written by :meth:`save`.
+
+        The on-disk format is the trainer's checkpoint layer, so a store
+        can equally be built from a mid-training checkpoint directory.
+        ``lam``/``weighted`` saved by :meth:`save` are restored unless
+        overridden via ``kwargs``.
+        """
+        restored = CheckpointManager(directory).latest()
+        if restored is None:
+            raise ValueError(f"no checkpoint found in {directory!r}")
+        if "lam" in restored.extras:
+            kwargs.setdefault("lam", float(restored.extras["lam"]))
+        if "weighted" in restored.extras:
+            kwargs.setdefault("weighted", bool(restored.extras["weighted"]))
+        return cls(restored.x, restored.theta, **kwargs)
+
+    def save(self, directory: str) -> str:
+        """Persist the factors through the checkpoint layer; returns the path.
+
+        Folded-in users are included (the saved X has one row per user
+        the store currently knows), as are the ``lam``/``weighted``
+        fold-in hyper-parameters, so :meth:`load` reproduces fold-in
+        behaviour exactly.
+        """
+        return CheckpointManager(directory, keep=1).save(
+            0, self.x, self.theta, lam=np.float64(self.lam), weighted=np.bool_(self.weighted)
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_users(self) -> int:
+        """Number of user rows currently servable (including fold-ins)."""
+        return self.x.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return self.theta.shape[0]
+
+    @property
+    def f(self) -> int:
+        """Latent-feature dimension."""
+        return self.x.shape[1]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of Θ shards (= serving devices)."""
+        return len(self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FactorStore({self.n_users} users x {self.n_items} items, f={self.f}, "
+            f"{self.n_shards} shards)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_index_array(values: np.ndarray, what: str) -> np.ndarray:
+        """Coerce to 1-D int64 indices, rejecting fractional/bool inputs."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError(f"{what} must be a 1-D array of indices")
+        if values.size and not np.issubdtype(values.dtype, np.integer):
+            raise ValueError(f"{what} must be integer indices, got dtype {values.dtype}")
+        return values.astype(np.int64, copy=False)
+
+    def _validate_users(self, users: np.ndarray) -> np.ndarray:
+        users = self._as_index_array(users, "users")
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise ValueError(
+                f"user index out of range: store serves users [0, {self.n_users})"
+            )
+        return users
+
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings for aligned user/item index arrays (float64)."""
+        users = self._validate_users(np.atleast_1d(users))
+        items = self._as_index_array(np.atleast_1d(items), "items")
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same shape")
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise ValueError(
+                f"item index out of range: store serves items [0, {self.n_items})"
+            )
+        return np.einsum("ij,ij->i", self.x[users], self.theta[items])
+
+    def recommend(
+        self, user: int, k: int = 10, exclude: CSRMatrix | None = None
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` items for one user (single-query path = batch of 1)."""
+        return self.recommend_batch(np.array([user]), k=k, exclude=exclude)[0]
+
+    def recommend_batch(
+        self,
+        users: np.ndarray,
+        k: int = 10,
+        exclude: CSRMatrix | None = None,
+        user_block: int = 512,
+    ) -> list[list[tuple[int, float]]]:
+        """Top-``k`` items for every user in ``users``.
+
+        Returns one ``[(item, score), ...]`` list per query, sorted by
+        descending score, excluded/invalid items filtered out — the same
+        contract as the single-user :meth:`recommend`.  Scoring runs in
+        blocks of ``user_block`` users to bound the ``block × n_items``
+        score buffer.
+        """
+        users = self._validate_users(users)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if exclude is not None:
+            if exclude.shape[1] != self.n_items:
+                raise ValueError("exclude matrix must have one column per item")
+            if exclude.shape[0] < self._n_trained_users:
+                raise ValueError(
+                    f"exclude matrix has {exclude.shape[0]} rows but the store "
+                    f"was trained on {self._n_trained_users} users"
+                )
+        kk = min(k, self.n_items)
+        out: list[list[tuple[int, float]]] = []
+        for start in range(0, users.size, user_block):
+            block = users[start : start + user_block]
+            ids, vals = self._topk_block(block, kk, exclude)
+            for row_ids, row_vals in zip(ids, vals):
+                out.append(
+                    [
+                        (int(i), float(v))
+                        for i, v in zip(row_ids, row_vals)
+                        if np.isfinite(v)
+                    ]
+                )
+        return out
+
+    def _seen_items(self, user: int, exclude: CSRMatrix) -> np.ndarray:
+        """Items to mask for ``user``: its CSR row, or its fold-in ratings."""
+        if user < self._n_trained_users:
+            return exclude.row(user)[0]
+        return self._folded_items.get(user, np.empty(0, dtype=np.int64))
+
+    def _topk_block(
+        self, block: np.ndarray, kk: int, exclude: CSRMatrix | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-``kk`` ids/scores for one block of users.
+
+        Each Θ shard is scored with one GEMM and selects its local
+        candidates; candidates are merged per user.  The simulated
+        per-device time of the same dataflow is charged to the machine
+        clock afterwards.
+        """
+        b = block.size
+        xb = np.ascontiguousarray(self._x_score[block])
+        scores = np.empty((b, self.n_items), dtype=self.score_dtype)
+        for i, shard in enumerate(self._shards):
+            lo, hi = self.partition.range_of(i)
+            scores[:, lo:hi] = xb @ shard.T
+        if exclude is not None:
+            neg = -np.inf
+            for bi, user in enumerate(block):
+                seen = self._seen_items(int(user), exclude)
+                if seen.size:
+                    scores[bi, seen] = neg
+
+        cand_ids = []
+        cand_vals = []
+        for i in range(self.n_shards):
+            lo, hi = self.partition.range_of(i)
+            width = hi - lo
+            kk_i = min(kk, width)
+            sub = scores[:, lo:hi]
+            idx = np.argpartition(sub, width - kk_i, axis=1)[:, width - kk_i :]
+            cand_ids.append(idx + lo)
+            cand_vals.append(np.take_along_axis(sub, idx, axis=1))
+        ids = np.concatenate(cand_ids, axis=1)
+        vals = np.concatenate(cand_vals, axis=1)
+        if vals.shape[1] > kk:
+            sel = np.argpartition(vals, vals.shape[1] - kk, axis=1)[:, vals.shape[1] - kk :]
+            ids = np.take_along_axis(ids, sel, axis=1)
+            vals = np.take_along_axis(vals, sel, axis=1)
+        order = np.argsort(-vals, axis=1, kind="stable")
+        ids = np.take_along_axis(ids, order, axis=1)
+        vals = np.take_along_axis(vals, order, axis=1)
+
+        self._account_topk(b, kk)
+        return ids, vals
+
+    # ------------------------------------------------------------------ #
+    # simulated-time accounting
+    # ------------------------------------------------------------------ #
+    def _account_topk(self, b: int, kk: int) -> None:
+        """Advance the simulated clock by one batched top-k pass.
+
+        Per device: read the broadcast user-factor block and the
+        resident Θ shard, write the dense score block, then a selection
+        kernel reads the scores back and emits ``kk`` (id, score) pairs
+        per user.  Candidate merging happens on the host after a D2H
+        copy.  Reading Θ once per *batch* instead of once per *query* is
+        what makes batched serving an order of magnitude faster here,
+        just as on a real GPU.
+        """
+        before = self.machine.elapsed_seconds()
+        f = self.f
+        self.machine.run_transfers(
+            [
+                self.machine.h2d(i, b * f * FLOAT_BYTES, tag="serve-users")
+                for i in range(self.n_shards)
+            ],
+            label="serve-h2d",
+        )
+        profiles = {}
+        for i in range(self.n_shards):
+            width = self.partition.size_of(i)
+            score = KernelProfile(
+                name="serve_score",
+                flops=2.0 * b * width * f,
+                traffic={
+                    MemoryKind.GLOBAL: float(
+                        (b * f + width * f + b * width) * FLOAT_BYTES
+                    )
+                },
+                blocks=b,
+            )
+            select = KernelProfile(
+                name="serve_topk",
+                flops=float(b * width),
+                traffic={
+                    MemoryKind.GLOBAL: float((b * width + 2 * b * kk) * FLOAT_BYTES)
+                },
+                blocks=b,
+            )
+            profiles[i] = score.merged(select, name="serve_score+topk")
+        self.machine.run_parallel_kernels(profiles)
+        self.machine.run_transfers(
+            [
+                self.machine.d2h(i, 2 * b * kk * FLOAT_BYTES, tag="serve-candidates")
+                for i in range(self.n_shards)
+            ],
+            label="serve-d2h",
+        )
+        elapsed = self.machine.elapsed_seconds() - before
+        self.stats.queries += b
+        self.stats.batches += 1
+        self.stats.simulated_seconds += elapsed
+        for i in range(self.n_shards):
+            dev = self.machine.device(i)
+            self.stats.per_device_seconds[i] = dev.busy_seconds()
+
+    # ------------------------------------------------------------------ #
+    # cold start
+    # ------------------------------------------------------------------ #
+    def fold_in(self, items: np.ndarray, ratings: np.ndarray) -> int:
+        """Absorb a cold-start user; returns their new user index.
+
+        The factor is solved against the frozen Θ with the training
+        kernels (one Base-ALS user update).  The new row is appended to
+        both the float64 master and the scoring copy, so the user is
+        immediately servable; their fold-in items count as "seen" for
+        exclusion purposes.
+        """
+        factor = fold_in_user(items, ratings, self.theta, self.lam, weighted=self.weighted)
+        user = self.n_users
+        self.x = np.vstack([self.x, factor[None, :]])
+        self.x.setflags(write=False)
+        self._x_score = np.vstack([self._x_score, factor[None, :].astype(self.score_dtype)])
+        self._folded_items[user] = np.unique(np.asarray(items, dtype=np.int64))
+
+        # Simulated cost: one Hermitian assembly + one 1-row batched solve
+        # on device 0, plus shipping the ratings up and the factor back.
+        nnz = int(np.asarray(items).size)
+        before = self.machine.elapsed_seconds()
+        self.machine.run_transfers(
+            [self.machine.h2d(0, 2 * nnz * FLOAT_BYTES, tag="foldin-ratings")],
+            label="serve-h2d",
+        )
+        herm = get_hermitian_profile(
+            self.machine.spec, 1, nnz, self.n_items, self._profile_config, name="foldin_hermitian"
+        )
+        solve = batch_solve_profile(1, self.f, name="foldin_solve")
+        self.machine.run_parallel_kernels({0: herm.merged(solve, name="foldin")})
+        self.machine.run_transfers(
+            [self.machine.d2h(0, self.f * FLOAT_BYTES, tag="foldin-factor")],
+            label="serve-d2h",
+        )
+        self.stats.fold_ins += 1
+        self.stats.simulated_seconds += self.machine.elapsed_seconds() - before
+        return user

@@ -157,8 +157,10 @@ class TestCuMFTrainer:
     def test_recommend_validation(self, tiny_ratings, als_config):
         model = CuMF(als_config, backend="base")
         model.fit(tiny_ratings.train)
-        with pytest.raises(IndexError):
+        with pytest.raises(ValueError, match="out of range"):
             model.recommend(10**6)
+        with pytest.raises(ValueError, match="out of range"):
+            model.recommend(-1)
         with pytest.raises(ValueError):
             model.recommend(0, k=0)
 

@@ -12,7 +12,6 @@ from repro.datasets.io import iter_row_chunks, load_ratings_npz, save_ratings_np
 from repro.datasets.registry import DATASETS, FACEBOOK, HUGEWIKI, NETFLIX, DatasetSpec, get_dataset
 from repro.datasets.split import train_test_split
 from repro.datasets.synthetic import generate_ratings, powerlaw_weights
-from repro.sparse.csr import CSRMatrix
 
 from tests.conftest import random_coo
 

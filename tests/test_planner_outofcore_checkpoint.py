@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import ALSConfig
-from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile, texture_reuse_factor
+from repro.core.kernels import batch_solve_profile, get_hermitian_profile, texture_reuse_factor
 from repro.core.outofcore import BatchPlan, OutOfCoreScheduler
 from repro.core.partition_planner import footprint_floats, plan_partitions
 from repro.core.sgd import sgd_epoch

@@ -1,0 +1,218 @@
+"""FactorStore: sharding, batched top-k, persistence, trainer delegation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ALSConfig, CuMF
+from repro.gpu.machine import MultiGPUMachine
+from repro.serving import FactorStore
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_ratings):
+    model = CuMF(ALSConfig(f=8, lam=0.05, iterations=3, seed=1, row_batch=128), backend="base")
+    model.fit(tiny_ratings.train, tiny_ratings.test)
+    return model
+
+
+@pytest.fixture()
+def store(fitted):
+    return fitted.export_store(n_shards=3)
+
+
+class TestConstruction:
+    def test_from_result_takes_lam_and_solver(self, fitted):
+        store = FactorStore.from_result(fitted.result)
+        assert store.lam == fitted.result.config.lam
+        assert store.solver == fitted.result.solver
+        assert store.n_users == fitted.result.x.shape[0]
+        assert store.n_items == fitted.result.theta.shape[0]
+
+    def test_shards_cover_theta(self, fitted):
+        store = fitted.export_store(n_shards=4)
+        rebuilt = np.concatenate(store._shards, axis=0)
+        np.testing.assert_array_equal(rebuilt, store.theta.astype(store.score_dtype))
+        assert store.partition.bounds[-1] == store.n_items
+
+    def test_machine_defines_shard_count(self, fitted):
+        machine = MultiGPUMachine(n_gpus=2)
+        store = fitted.export_store(machine=machine)
+        assert store.n_shards == 2
+        with pytest.raises(ValueError):
+            fitted.export_store(machine=machine, n_shards=3)
+
+    def test_bad_factor_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            FactorStore(np.zeros((4, 3)), np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            FactorStore(np.zeros(4), np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            FactorStore(np.zeros((4, 3)), np.zeros((5, 3)), lam=-1.0)
+
+    def test_store_is_a_snapshot(self, fitted):
+        x_before = fitted.result.x.copy()
+        store = fitted.export_store()
+        try:
+            fitted.result.x += 1.0  # training-side mutation must not leak into serving
+            np.testing.assert_array_equal(store.x, x_before)
+        finally:
+            fitted.result.x -= 1.0
+
+
+class TestBatchedTopK:
+    def test_batch_matches_looped_recommend(self, fitted, store, tiny_ratings):
+        users = np.arange(50)
+        batch = store.recommend_batch(users, k=7, exclude=tiny_ratings.train)
+        for u, got in zip(users, batch):
+            want = fitted.recommend(int(u), k=7, exclude=tiny_ratings.train)
+            assert [i for i, _ in got] == [i for i, _ in want]
+            np.testing.assert_allclose(
+                [s for _, s in got], [s for _, s in want], rtol=0, atol=1e-5
+            )
+
+    def test_single_and_batch_share_one_path(self, store):
+        users = np.array([3, 3, 11])
+        batch = store.recommend_batch(users, k=5)
+        assert batch[0] == batch[1]  # duplicate queries in one batch are identical
+        # A batch of one IS the single-user path, bit for bit.
+        assert store.recommend_batch(np.array([11]), k=5) == [store.recommend(11, k=5)]
+        # Across batch sizes the ranking is identical; scores agree to float32
+        # rounding (BLAS picks different kernels for different batch sizes).
+        single = store.recommend(3, k=5)
+        assert [i for i, _ in batch[0]] == [i for i, _ in single]
+        np.testing.assert_allclose(
+            [s for _, s in batch[0]], [s for _, s in single], rtol=0, atol=1e-5
+        )
+
+    def test_exclusion_masks_seen_items(self, store, tiny_ratings):
+        for u, recs in enumerate(store.recommend_batch(np.arange(20), k=10, exclude=tiny_ratings.train)):
+            rated = set(tiny_ratings.train.row(u)[0].tolist())
+            assert not rated & {i for i, _ in recs}
+            scores = [s for _, s in recs]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_items_is_capped(self, store):
+        recs = store.recommend(0, k=10**6)
+        assert len(recs) == store.n_items
+
+    def test_validation(self, store, tiny_ratings):
+        with pytest.raises(ValueError, match="out of range"):
+            store.recommend_batch(np.array([store.n_users]))
+        with pytest.raises(ValueError, match="out of range"):
+            store.recommend(-1)
+        with pytest.raises(ValueError):
+            store.recommend_batch(np.array([0]), k=0)
+        bad_exclude = tiny_ratings.train.col_slice(0, 10)
+        with pytest.raises(ValueError, match="one column per item"):
+            store.recommend_batch(np.array([0]), exclude=bad_exclude)
+        short_exclude = tiny_ratings.train.row_slice(0, 5)
+        with pytest.raises(ValueError, match="5 rows"):
+            store.recommend_batch(np.array([0]), exclude=short_exclude)
+        with pytest.raises(ValueError, match="integer"):
+            store.recommend_batch(np.array([3.9]))
+        with pytest.raises(ValueError, match="integer"):
+            store.recommend(0.5)  # type: ignore[arg-type]
+
+    def test_user_blocking_is_invisible(self, store):
+        users = np.arange(40)
+        whole = store.recommend_batch(users, k=4)
+        blocked = store.recommend_batch(users, k=4, user_block=7)
+        assert whole == blocked
+
+
+class TestSimulatedTime:
+    def test_batches_advance_the_clock(self, fitted):
+        store = fitted.export_store(n_shards=2)
+        assert store.stats.simulated_seconds == 0.0
+        store.recommend_batch(np.arange(32), k=5)
+        assert store.stats.queries == 32
+        assert store.stats.batches == 1
+        assert store.stats.simulated_seconds > 0.0
+        assert store.machine.elapsed_seconds() == pytest.approx(store.stats.simulated_seconds)
+
+    def test_batching_amortizes_theta_reads(self):
+        """Per-query simulated time at B=256 must be >=10x cheaper than B=1.
+
+        Batch serving reads each Θ shard once per batch instead of once
+        per query — the core economics of the serving tier.
+        """
+        rng = np.random.default_rng(0)
+        x = rng.random((2000, 32))
+        theta = rng.random((8000, 32))
+        batched = FactorStore(x, theta, n_shards=4)
+        looped = FactorStore(x, theta, n_shards=4)
+        users = rng.integers(0, 2000, size=256)
+        batched.recommend_batch(users, k=10)
+        for u in users:
+            looped.recommend(int(u), k=10)
+        per_query_batched = batched.stats.simulated_seconds / 256
+        per_query_looped = looped.stats.simulated_seconds / 256
+        assert per_query_looped / per_query_batched >= 10.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, store, tmp_path):
+        path = store.save(str(tmp_path))
+        assert path.endswith(".npz")
+        reloaded = FactorStore.load(str(tmp_path), n_shards=2, lam=store.lam)
+        np.testing.assert_array_equal(reloaded.x, store.x)
+        np.testing.assert_array_equal(reloaded.theta, store.theta)
+        assert reloaded.recommend(0, k=5) == store.recommend(0, k=5)
+
+    def test_save_load_preserves_fold_in_hyperparameters(self, fitted, tmp_path):
+        store = FactorStore.from_result(fitted.result, lam=0.7, weighted=False)
+        store.save(str(tmp_path))
+        reloaded = FactorStore.load(str(tmp_path))
+        assert reloaded.lam == 0.7
+        assert reloaded.weighted is False
+        items = np.array([1, 4, 7])
+        ratings = np.array([5.0, 3.0, 4.0])
+        u_a = store.fold_in(items, ratings)
+        u_b = reloaded.fold_in(items, ratings)
+        np.testing.assert_array_equal(store.x[u_a], reloaded.x[u_b])
+
+    def test_load_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no checkpoint"):
+            FactorStore.load(str(tmp_path))
+
+    def test_load_from_training_checkpoint(self, tiny_ratings, tmp_path):
+        model = CuMF(
+            ALSConfig(f=8, lam=0.05, iterations=2, seed=1, row_batch=128),
+            backend="base",
+            checkpoint_dir=str(tmp_path),
+        )
+        model.fit(tiny_ratings.train)
+        store = FactorStore.load(str(tmp_path))
+        np.testing.assert_array_equal(store.x, model.result.x)
+
+
+class TestTrainerDelegation:
+    def test_predict_matches_factors(self, fitted):
+        users = np.array([0, 5, 9])
+        items = np.array([1, 2, 3])
+        want = np.einsum("ij,ij->i", fitted.result.x[users], fitted.result.theta[items])
+        np.testing.assert_allclose(fitted.predict(users, items), want)
+
+    def test_predict_validation(self, fitted):
+        with pytest.raises(ValueError, match="user index out of range"):
+            fitted.predict(np.array([10**6]), np.array([0]))
+        with pytest.raises(ValueError, match="item index out of range"):
+            fitted.predict(np.array([0]), np.array([10**6]))
+
+    def test_trainer_recommend_batch(self, fitted, tiny_ratings):
+        users = np.array([1, 2])
+        batch = fitted.recommend_batch(users, k=3, exclude=tiny_ratings.train)
+        for u, got in zip(users, batch):
+            want = fitted.recommend(int(u), k=3, exclude=tiny_ratings.train)
+            assert [i for i, _ in got] == [i for i, _ in want]
+
+    def test_refit_invalidates_snapshot(self, tiny_ratings):
+        model = CuMF(ALSConfig(f=8, lam=0.05, iterations=1, seed=1, row_batch=128), backend="base")
+        model.fit(tiny_ratings.train)
+        model.recommend(0, k=3)
+        assert model._store is not None
+        model.fit(tiny_ratings.train)
+        assert model._store is None  # rebuilt lazily from the new result
+        assert model.recommend(0, k=3)
