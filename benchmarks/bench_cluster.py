@@ -1,0 +1,129 @@
+"""Cluster-serving benchmarks: simulated-QPS scaling from 1 to 4 replicas.
+
+Two views of the same economics:
+
+* replaying one *saturating* trace through clusters of 1/2/4 replicas of
+  the same store shows throughput scaling near-linearly with R while the
+  p95 latency falls (the backlog drains R times faster);
+* a bisection search per cluster size finds the highest offered Poisson
+  rate whose p95 stays under a fixed latency budget — the sustainable-QPS
+  scaling curve an SLO-driven capacity planner would draw.
+
+Routing uses least-outstanding-work; a separate comparison pins the
+power-of-two-choices router between round-robin and the least-loaded
+oracle on tail latency under skewed bursts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import FactorStore, QueryTrace, RequestSimulator, ServingCluster
+
+M_USERS = 2_000
+N_ITEMS = 8_000
+F = 32
+TOPK = 10
+MAX_BATCH = 256
+N_SHARDS = 2
+REPLICAS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def base_store():
+    rng = np.random.default_rng(7)
+    return FactorStore(rng.random((M_USERS, F)), rng.random((N_ITEMS, F)), n_shards=N_SHARDS)
+
+
+@pytest.fixture(scope="module")
+def capacity_qps(base_store):
+    """Saturated single-replica throughput (one full batch, simulated)."""
+    probe = base_store.replicate()
+    probe.recommend_batch(np.arange(MAX_BATCH), k=TOPK)
+    return MAX_BATCH / probe.stats.simulated_seconds
+
+
+def _replay(base_store, n_replicas, trace, router="least-loaded", window_s=0.0):
+    cluster = ServingCluster.from_store(base_store, n_replicas, router=router)
+    sim = RequestSimulator(cluster, k=TOPK, max_batch=MAX_BATCH, window_s=window_s)
+    return sim.run(trace)
+
+
+def test_bench_cluster_replay(benchmark, base_store, capacity_qps):
+    trace = QueryTrace.poisson(2_000, 2 * capacity_qps, M_USERS, seed=3)
+    report = benchmark.pedantic(_replay, args=(base_store, 4, trace), rounds=1, iterations=1)
+    assert report.n_requests == 2_000
+
+
+def test_replica_scaling_same_trace(base_store, capacity_qps, report):
+    """Same store, same saturating trace: 4 replicas must give >=3x the QPS."""
+    trace = QueryTrace.poisson(12_000, 5 * capacity_qps, M_USERS, seed=3)
+    results = {r: _replay(base_store, r, trace) for r in REPLICAS}
+    lines = [
+        "R=%d  %10.0f qps simulated   p95 %7.3f ms   util %s"
+        % (
+            r,
+            res.throughput_qps,
+            res.latency_p95_s * 1e3,
+            "/".join(f"{u:.0%}" for u in res.per_replica_utilization),
+        )
+        for r, res in results.items()
+    ]
+    scaling = results[4].throughput_qps / results[1].throughput_qps
+    lines.append("4-replica scaling: %.2fx" % scaling)
+    report(
+        "cluster scaling, saturating trace (%d queries, %d users x %d items, f=%d)"
+        % (trace.n_requests, M_USERS, N_ITEMS, F),
+        "\n".join(lines),
+    )
+    assert scaling >= 3.0, f"4 replicas only {scaling:.2f}x the single-store QPS"
+    assert results[4].latency_p95_s < results[1].latency_p95_s
+    assert results[2].throughput_qps > 1.5 * results[1].throughput_qps
+
+
+def _sustainable_qps(base_store, n_replicas, budget_s, capacity_qps):
+    """Highest offered rate whose p95 stays under ``budget_s`` (bisection).
+
+    Each probe holds the *simulated duration* fixed (not the request
+    count), so every rate is measured in steady state: above capacity the
+    backlog grows for the whole trace and p95 blows past the budget,
+    below it the p95 settles at window + queueing + service.
+    """
+    duration_s = 20.0 * MAX_BATCH / capacity_qps
+    lo, hi = 0.2 * n_replicas * capacity_qps, 4.0 * n_replicas * capacity_qps
+    for _ in range(6):
+        mid = (lo + hi) / 2.0
+        trace = QueryTrace.poisson(int(mid * duration_s), mid, M_USERS, seed=11)
+        res = _replay(base_store, n_replicas, trace, window_s=0.0005)
+        if res.latency_p95_s <= budget_s:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def test_sustainable_qps_at_fixed_p95(base_store, capacity_qps, report):
+    """The capacity-planning curve: sustainable QPS at a fixed p95 budget."""
+    budget_s = 4.0 * MAX_BATCH / capacity_qps  # a few full-batch service times
+    curve = {r: _sustainable_qps(base_store, r, budget_s, capacity_qps) for r in REPLICAS}
+    report(
+        "sustainable simulated QPS at p95 <= %.2f ms" % (budget_s * 1e3),
+        "\n".join("R=%d  %10.0f qps" % (r, qps) for r, qps in curve.items()),
+    )
+    assert curve[2] > 1.5 * curve[1]
+    assert curve[4] > 3.0 * curve[1]
+
+
+def test_router_tail_latency_under_bursts(base_store, report):
+    """power-of-two must sit between round-robin and the least-loaded oracle."""
+    trace = QueryTrace.bursty(
+        6_000, 3_000.0, 400_000.0, M_USERS, burst_every_s=0.02, burst_len_s=0.004, seed=5
+    )
+    p95 = {}
+    for router in ("round-robin", "power-of-two", "least-loaded"):
+        p95[router] = _replay(base_store, 4, trace, router=router, window_s=0.0).latency_p95_s
+    report(
+        "router comparison, 4 replicas, bursty trace (%d queries)" % trace.n_requests,
+        "\n".join("%-14s p95 %7.3f ms" % (name, value * 1e3) for name, value in p95.items()),
+    )
+    assert p95["power-of-two"] < p95["round-robin"]
+    assert p95["least-loaded"] <= p95["power-of-two"]

@@ -7,7 +7,8 @@ recommendation delegate to a :class:`~repro.serving.store.FactorStore`
 snapshot of the learned factors, so the single-user and the batched
 serving paths share one code path; :meth:`CuMF.export_store` hands the
 same snapshot to the serving tier proper (sharded, simulated-time
-accounted, fold-in capable).
+accounted, fold-in capable) and :meth:`CuMF.export_cluster` replicates
+it behind a load-balancing router for cluster-scale QPS.
 """
 
 from __future__ import annotations
@@ -119,6 +120,21 @@ class CuMF:
 
         return FactorStore.from_result(self._require_fit(), machine=machine, n_shards=n_shards, **kwargs)
 
+    def export_cluster(self, n_replicas: int = 2, router="least-loaded", **kwargs):
+        """Snapshot the fitted factors into a replicated :class:`ServingCluster`.
+
+        Each of the ``n_replicas`` replicas is an independent
+        :class:`FactorStore` (own simulated machine and clock) serving the
+        same snapshot; batched top-k calls are routed by ``router``
+        (``"round-robin"``, ``"least-loaded"``, ``"power-of-two"`` or a
+        :class:`~repro.serving.cluster.Router` instance) and fold-ins are
+        written through to every replica.  ``kwargs`` (e.g. ``n_shards``)
+        configure the per-replica stores.
+        """
+        from repro.serving.cluster import ServingCluster
+
+        return ServingCluster.from_result(self._require_fit(), n_replicas, router=router, **kwargs)
+
     def _serving_store(self):
         """The cached store backing predict/recommend (built on first use)."""
         if self._store is None:
@@ -146,8 +162,16 @@ class CuMF:
         return self._serving_store().recommend(user, k=k, exclude=exclude)
 
     def recommend_batch(
-        self, users: np.ndarray, k: int = 10, exclude: CSRMatrix | None = None
+        self,
+        users: np.ndarray,
+        k: int = 10,
+        exclude: CSRMatrix | None = None,
+        user_block: int = 512,
     ) -> list[list[tuple[int, float]]]:
-        """Batched top-``k``: one recommendation list per user in ``users``."""
+        """Batched top-``k``: one recommendation list per user in ``users``.
+
+        ``user_block`` bounds the ``block × n_items`` score buffer, exactly
+        as on :meth:`FactorStore.recommend_batch`.
+        """
         self._require_fit()
-        return self._serving_store().recommend_batch(users, k=k, exclude=exclude)
+        return self._serving_store().recommend_batch(users, k=k, exclude=exclude, user_block=user_block)

@@ -16,9 +16,23 @@ package is that missing online half:
   user update;
 * :class:`~repro.serving.simulator.RequestSimulator` — Poisson/bursty
   query traffic driven through the store in batched windows, reporting
-  throughput and latency percentiles.
+  throughput and latency percentiles;
+* :class:`~repro.serving.cluster.ServingCluster` — R replicas of one
+  snapshot on independent simulated machines behind a pluggable routing
+  policy (round-robin / least-loaded / power-of-two-choices), with
+  write-through fold-in so every replica serves a cold-start user under
+  the same id; the simulator drives a cluster with per-replica
+  timelines and reports per-replica utilization.
 """
 
+from repro.serving.cluster import (
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    RoundRobinRouter,
+    Router,
+    ServingCluster,
+    make_router,
+)
 from repro.serving.foldin import fold_in_user, fold_in_users
 from repro.serving.simulator import QueryTrace, RequestSimulator, TrafficReport
 from repro.serving.store import FactorStore, ServingStats
@@ -26,6 +40,12 @@ from repro.serving.store import FactorStore, ServingStats
 __all__ = [
     "FactorStore",
     "ServingStats",
+    "ServingCluster",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "PowerOfTwoRouter",
+    "make_router",
     "fold_in_user",
     "fold_in_users",
     "QueryTrace",

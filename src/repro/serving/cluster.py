@@ -1,0 +1,316 @@
+"""Replicated serving: R copies of one store behind a load-balancing router.
+
+One :class:`~repro.serving.store.FactorStore` is capacity-bound by its
+machine; a production tier scales *reads* by replication.  A
+:class:`ServingCluster` holds R replicas of one snapshot — each produced
+by :meth:`FactorStore.replicate`, i.e. an identical model on its own
+independent simulated machine — and routes every batched top-k call
+through a pluggable :class:`Router`:
+
+* :class:`RoundRobinRouter` — cycles through replicas, load-blind;
+* :class:`LeastLoadedRouter` — always the replica with the least
+  outstanding work (the omniscient baseline a centralized balancer can
+  afford at this scale);
+* :class:`PowerOfTwoRouter` — samples two replicas and takes the less
+  loaded one, the classic "power of two choices" policy whose queue
+  tails are exponentially better than random/blind assignment while
+  probing only two replicas per decision.
+
+Writes do not scale by replication, so cold-start fold-ins are
+*write-through*: :meth:`ServingCluster.fold_in` applies the same solve
+to every replica and checks they all assign the same user id — any
+replica can then serve the new user with identical results and
+exclusion behaviour.
+
+The cluster is driven either directly (:meth:`recommend_batch` routes
+one batch) or by a :class:`~repro.serving.simulator.RequestSimulator`,
+which keeps one server-free timeline per replica and reports per-replica
+utilization, so the routing policies can be compared under the same
+arrival trace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.store import FactorStore
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "PowerOfTwoRouter",
+    "ServingCluster",
+    "make_router",
+    "select_replica",
+]
+
+
+class Router:
+    """Picks the replica that serves the next batch.
+
+    ``select`` receives one non-negative load figure per replica —
+    outstanding simulated work under the traffic simulator, cumulative
+    serving seconds when routing direct calls — and returns a replica
+    index.  Routers may keep state (round-robin position, RNG); ``reset``
+    returns them to their initial state so a router can be reused across
+    runs deterministically.
+    """
+
+    name = "router"
+
+    def select(self, loads: Sequence[float]) -> int:
+        """Replica index for the next batch given per-replica loads."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the initial routing state (default: stateless no-op)."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in order, ignoring load."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, loads: Sequence[float]) -> int:
+        choice = self._next % len(loads)
+        self._next += 1
+        return choice
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastLoadedRouter(Router):
+    """Always the replica with the least outstanding work (ties: lowest id)."""
+
+    name = "least-loaded"
+
+    def select(self, loads: Sequence[float]) -> int:
+        return int(np.argmin(loads))
+
+
+class PowerOfTwoRouter(Router):
+    """Sample two distinct replicas, send the batch to the less loaded one."""
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, loads: Sequence[float]) -> int:
+        if len(loads) == 1:
+            return 0
+        a, b = self._rng.choice(len(loads), size=2, replace=False)
+        return int(a if loads[a] <= loads[b] else b)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+
+_ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+    PowerOfTwoRouter.name: PowerOfTwoRouter,
+}
+
+
+def make_router(router: Router | str) -> Router:
+    """Coerce a policy name (or pass through a :class:`Router` instance)."""
+    if isinstance(router, Router):
+        return router
+    try:
+        return _ROUTERS[router]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {router!r}; choose from {sorted(_ROUTERS)} "
+            f"or pass a Router instance"
+        ) from None
+
+
+def select_replica(router: Router, loads: Sequence[float]) -> int:
+    """One routing decision, with the returned index validated in range."""
+    choice = router.select(loads)
+    if not 0 <= choice < len(loads):
+        raise ValueError(f"router returned replica {choice} for {len(loads)} replicas")
+    return choice
+
+
+class ServingCluster:
+    """R replicas of one factor snapshot behind a routing policy.
+
+    Parameters
+    ----------
+    replicas:
+        Identical :class:`FactorStore` snapshots, each on its own
+        simulated machine (build them with :meth:`from_store` /
+        :meth:`from_result` or :meth:`FactorStore.replicate`).
+    router:
+        Routing policy: a :class:`Router` instance or one of
+        ``"round-robin"``, ``"least-loaded"``, ``"power-of-two"``.
+    """
+
+    def __init__(self, replicas: Sequence[FactorStore], router: Router | str = "least-loaded"):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        head = replicas[0]
+        for i, rep in enumerate(replicas[1:], start=1):
+            if (rep.n_users, rep.n_items, rep.f) != (head.n_users, head.n_items, head.f):
+                raise ValueError(
+                    f"replica {i} shape ({rep.n_users} x {rep.n_items}, f={rep.f}) "
+                    f"differs from replica 0 ({head.n_users} x {head.n_items}, f={head.f})"
+                )
+            if rep._n_trained_users != head._n_trained_users:
+                raise ValueError(f"replica {i} disagrees on the trained-user count")
+            if (rep.lam, rep.weighted) != (head.lam, head.weighted):
+                raise ValueError(
+                    f"replica {i} has different fold-in hyper-parameters "
+                    f"(lam={rep.lam}, weighted={rep.weighted})"
+                )
+            # Same model everywhere, or routed answers are inconsistent.
+            # The comparison is O(snapshot), i.e. no more than building the
+            # replica was.
+            if not (
+                np.array_equal(rep.x, head.x)
+                and np.array_equal(rep.theta, head.theta)
+                and all(
+                    np.array_equal(rep._folded_items[u], seg)
+                    for u, seg in head._folded_items.items()
+                )
+            ):
+                raise ValueError(f"replica {i} serves different factors or fold-ins")
+        self.replicas = replicas
+        self.router = make_router(router)
+
+    @classmethod
+    def from_store(cls, store: FactorStore, n_replicas: int, router: Router | str = "least-loaded") -> "ServingCluster":
+        """Replicate ``store`` onto ``n_replicas`` fresh machines.
+
+        The source store is left untouched (it is not one of the
+        replicas); fold-ins it already absorbed are carried into every
+        replica, ids and exclusion sets included.
+        """
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be at least 1")
+        return cls([store.replicate() for _ in range(n_replicas)], router=router)
+
+    @classmethod
+    def from_result(cls, result, n_replicas: int, router: Router | str = "least-loaded", **store_kwargs) -> "ServingCluster":
+        """Snapshot a finished training run straight into a cluster.
+
+        Each replica is built directly from the result (no intermediate
+        throwaway store).  ``store_kwargs`` configure the per-replica
+        stores; a shared ``machine`` is rejected because every replica
+        must own an independent simulated machine.
+        """
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be at least 1")
+        if "machine" in store_kwargs:
+            raise ValueError(
+                "replicas own independent machines; configure n_shards/score_dtype instead"
+            )
+        replicas = [FactorStore.from_result(result, **store_kwargs) for _ in range(n_replicas)]
+        return cls(replicas, router=router)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_replicas(self) -> int:
+        """Number of replicas."""
+        return len(self.replicas)
+
+    @property
+    def n_users(self) -> int:
+        """Users servable by every replica (including fold-ins)."""
+        return self.replicas[0].n_users
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return self.replicas[0].n_items
+
+    @property
+    def f(self) -> int:
+        """Latent-feature dimension."""
+        return self.replicas[0].f
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingCluster({self.n_replicas} x {self.replicas[0]!r}, "
+            f"router={self.router.name!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # reads: routed to one replica
+    # ------------------------------------------------------------------ #
+    def _loads(self) -> list[float]:
+        """Per-replica load for direct (synchronous) routing decisions.
+
+        Outside the traffic simulator there is no shared timeline, so
+        cumulative simulated serving seconds stand in for outstanding
+        work — the router then balances total work across replicas.
+        """
+        return [rep.stats.simulated_seconds for rep in self.replicas]
+
+    def route(self) -> int:
+        """Ask the router for the replica that should take the next batch."""
+        return select_replica(self.router, self._loads())
+
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings (replica-independent; served from replica 0)."""
+        return self.replicas[0].predict(users, items)
+
+    def recommend(self, user: int, k: int = 10, exclude=None) -> list[tuple[int, float]]:
+        """Top-``k`` for one user, routed to one replica."""
+        return self.replicas[self.route()].recommend(user, k=k, exclude=exclude)
+
+    def recommend_batch(self, users: np.ndarray, k: int = 10, exclude=None, user_block: int = 512) -> list[list[tuple[int, float]]]:
+        """Top-``k`` for a batch of users, routed to one replica."""
+        return self.replicas[self.route()].recommend_batch(
+            users, k=k, exclude=exclude, user_block=user_block
+        )
+
+    # ------------------------------------------------------------------ #
+    # writes: applied everywhere
+    # ------------------------------------------------------------------ #
+    def fold_in(self, items: np.ndarray, ratings: np.ndarray) -> int:
+        """Write-through cold-start: fold the user into *every* replica.
+
+        Returns the new user id, which is identical on all replicas (so
+        follow-up queries can be routed anywhere); raises
+        :class:`RuntimeError` — before touching any replica — if the
+        replicas have diverged and would disagree on the id.
+        """
+        user = self.replicas[0].n_users
+        if any(rep.n_users != user for rep in self.replicas):
+            counts = [rep.n_users for rep in self.replicas]
+            raise RuntimeError(f"replicas diverged: user counts {counts}")
+        for rep in self.replicas:
+            assigned = rep.fold_in(items, ratings)
+            assert assigned == user  # ids are allocated densely per replica
+        return user
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def total_queries(self) -> int:
+        """Queries served across all replicas."""
+        return sum(rep.stats.queries for rep in self.replicas)
+
+    def stats_dict(self) -> dict:
+        """Aggregate + per-replica counters for printing / reports."""
+        return {
+            "router": self.router.name,
+            "n_replicas": self.n_replicas,
+            "queries": self.total_queries(),
+            "fold_ins": sum(rep.stats.fold_ins for rep in self.replicas),
+            "per_replica": [rep.stats.as_dict() for rep in self.replicas],
+        }

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.synthetic import powerlaw_weights
+from repro.serving.cluster import Router, ServingCluster, select_replica
 from repro.serving.store import FactorStore
 from repro.sparse.csr import CSRMatrix
 
@@ -98,20 +99,45 @@ class QueryTrace:
             raise ValueError("need 0 < burst_len_s < burst_every_s")
         rng = np.random.default_rng(seed)
         arrivals = np.empty(n_requests, dtype=np.float64)
-        t = 0.0
         quiet_len = burst_every_s - burst_len_s
+        # Piecewise-constant-rate Poisson process: draw each gap at the rate
+        # of the regime the clock is in; a gap that would cross the regime
+        # boundary is discarded and re-drawn from the boundary at the new
+        # rate (valid by memorylessness).  Deciding the rate once from the
+        # *previous* arrival time would sample every boundary-crossing gap
+        # at the wrong rate — quiet-rate draws could leap over entire
+        # bursts.  The clock is a (period, in-period offset) pair rather
+        # than one float so regime boundaries stay exact.
+        period = 0
+        offset = 0.0
         for i in range(n_requests):
-            in_burst = (t % burst_every_s) >= quiet_len
-            rate = burst_qps if in_burst else base_qps
-            t += rng.exponential(1.0 / rate)
-            arrivals[i] = t
+            while True:
+                in_burst = offset >= quiet_len
+                rate = burst_qps if in_burst else base_qps
+                limit = burst_every_s if in_burst else quiet_len
+                gap = rng.exponential(1.0 / rate)
+                if offset + gap < limit:
+                    offset += gap
+                    break
+                if in_burst:
+                    period += 1
+                    offset = 0.0
+                else:
+                    offset = quiet_len
+            arrivals[i] = period * burst_every_s + offset
         users = cls._sample_users(n_requests, n_users, rng, user_exponent)
         return cls(arrivals, users, label=f"bursty@{base_qps:g}/{burst_qps:g}qps")
 
 
 @dataclass(frozen=True)
 class TrafficReport:
-    """Outcome of replaying one trace through a store."""
+    """Outcome of replaying one trace through a store or a cluster.
+
+    Against a single store the per-replica fields describe one replica;
+    against a :class:`~repro.serving.cluster.ServingCluster` they merge
+    the replicas' timelines: one query count, busy time and utilization
+    (busy / makespan) per replica, plus the routing policy used.
+    """
 
     label: str
     n_requests: int
@@ -124,10 +150,15 @@ class TrafficReport:
     latency_p95_s: float
     latency_max_s: float
     wall_seconds: float
+    n_replicas: int = 1
+    router: str = ""
+    per_replica_queries: tuple = ()
+    per_replica_busy_s: tuple = ()
+    per_replica_utilization: tuple = ()
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
-        return (
+        text = (
             f"trace {self.label}: {self.n_requests} queries in {self.n_batches} batches "
             f"(mean {self.mean_batch_size:.1f}/batch)\n"
             f"  simulated throughput {self.throughput_qps:,.0f} qps over {self.makespan_s:.4f} s "
@@ -136,6 +167,15 @@ class TrafficReport:
             f"p95 {self.latency_p95_s * 1e3:.2f} ms, max {self.latency_max_s * 1e3:.2f} ms\n"
             f"  host wall time {self.wall_seconds:.3f} s"
         )
+        if self.n_replicas > 1:
+            per_replica = ", ".join(
+                f"r{idx}: {queries}q/{util:.0%}"
+                for idx, (queries, util) in enumerate(
+                    zip(self.per_replica_queries, self.per_replica_utilization)
+                )
+            )
+            text += f"\n  {self.n_replicas} replicas via {self.router}: {per_replica}"
+        return text
 
 
 class RequestSimulator:
@@ -144,7 +184,12 @@ class RequestSimulator:
     Parameters
     ----------
     store:
-        The serving store.
+        The serving backend: a single :class:`FactorStore` or a
+        :class:`~repro.serving.cluster.ServingCluster`.  Against a
+        cluster, every dispatched window is routed to one replica by the
+        cluster's router; each replica has its own server-free timeline
+        while all share the arrival trace, and the report carries
+        per-replica query counts and utilization.
     k:
         Top-k size of every query.
     exclude:
@@ -158,7 +203,7 @@ class RequestSimulator:
 
     def __init__(
         self,
-        store: FactorStore,
+        store: FactorStore | ServingCluster,
         k: int = 10,
         exclude: CSRMatrix | None = None,
         max_batch: int = 256,
@@ -174,39 +219,64 @@ class RequestSimulator:
         self.max_batch = max_batch
         self.window_s = window_s
 
+    def _backends(self) -> tuple[list[FactorStore], Router | None]:
+        """The replica list and router behind ``store`` (router: None = single)."""
+        if isinstance(self.store, ServingCluster):
+            return self.store.replicas, self.store.router
+        return [self.store], None
+
     def run(self, trace: QueryTrace) -> TrafficReport:
         """Serve every query in the trace; returns the traffic report."""
+        replicas, router = self._backends()
+        if router is not None:
+            router.reset()
+        n_replicas = len(replicas)
         arrivals, users = trace.arrivals, trace.users
         n = trace.n_requests
         latencies = np.empty(n, dtype=np.float64)
-        server_free = 0.0
+        server_free = [0.0] * n_replicas
+        replica_busy = [0.0] * n_replicas
+        replica_queries = [0] * n_replicas
         service_total = 0.0
         n_batches = 0
         i = 0
         wall_start = time.perf_counter()
         while i < n:
             # Collect the window: everything that has arrived by the time
-            # the window closes (deadline or server availability) joins,
-            # capped at max_batch.
-            horizon = max(arrivals[i] + self.window_s, server_free)
+            # the window closes (deadline or first server availability)
+            # joins, capped at max_batch.
+            free_min = min(server_free)
+            horizon = max(arrivals[i] + self.window_s, free_min)
             j = i
             while j < n and j - i < self.max_batch and arrivals[j] <= horizon:
                 j += 1
             if j - i == self.max_batch:
-                dispatch = max(arrivals[j - 1], server_free)
+                dispatch = max(arrivals[j - 1], free_min)
             else:
                 dispatch = horizon
-            before = self.store.stats.simulated_seconds
-            self.store.recommend_batch(users[i:j], k=self.k, exclude=self.exclude)
-            service = self.store.stats.simulated_seconds - before
-            done = dispatch + service
+            # Route on outstanding work at dispatch time; a load-blind
+            # policy may pick a replica that is still busy, in which case
+            # the batch queues behind it (that queueing delay is exactly
+            # what separates the routing policies).
+            if router is None:
+                choice = 0
+            else:
+                loads = [max(0.0, free - dispatch) for free in server_free]
+                choice = select_replica(router, loads)
+            replica = replicas[choice]
+            before = replica.stats.simulated_seconds
+            replica.recommend_batch(users[i:j], k=self.k, exclude=self.exclude)
+            service = replica.stats.simulated_seconds - before
+            done = max(dispatch, server_free[choice]) + service
             latencies[i:j] = done - arrivals[i:j]
-            server_free = done
+            server_free[choice] = done
+            replica_busy[choice] += service
+            replica_queries[choice] += j - i
             service_total += service
             n_batches += 1
             i = j
         wall = time.perf_counter() - wall_start
-        makespan = server_free - float(arrivals[0]) if n else 0.0
+        makespan = max(server_free) - float(arrivals[0]) if n else 0.0
         return TrafficReport(
             label=trace.label,
             n_requests=n,
@@ -219,4 +289,11 @@ class RequestSimulator:
             latency_p95_s=float(np.percentile(latencies, 95)) if n else 0.0,
             latency_max_s=float(latencies.max()) if n else 0.0,
             wall_seconds=wall,
+            n_replicas=n_replicas,
+            router=router.name if router is not None else "",
+            per_replica_queries=tuple(replica_queries),
+            per_replica_busy_s=tuple(replica_busy),
+            per_replica_utilization=tuple(
+                busy / makespan if makespan > 0 else 0.0 for busy in replica_busy
+            ),
         )

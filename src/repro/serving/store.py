@@ -27,6 +27,7 @@ single-precision scoring copy for the top-k path.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,7 +47,13 @@ __all__ = ["FactorStore", "ServingStats"]
 
 @dataclass
 class ServingStats:
-    """Running counters of one store's serving activity."""
+    """Running counters of one store's serving activity.
+
+    ``per_device_seconds`` holds *serving-only* kernel seconds per device
+    (top-k scoring/selection and fold-in solves), accumulated as deltas —
+    on a machine shared with training it deliberately excludes the
+    training kernels that also raised ``dev.busy_seconds()``.
+    """
 
     queries: int = 0
     batches: int = 0
@@ -68,6 +75,7 @@ class ServingStats:
             "fold_ins": self.fold_ins,
             "simulated_seconds": self.simulated_seconds,
             "simulated_qps": self.simulated_qps(),
+            "per_device_seconds": dict(self.per_device_seconds),
         }
 
 
@@ -170,7 +178,9 @@ class FactorStore:
         The on-disk format is the trainer's checkpoint layer, so a store
         can equally be built from a mid-training checkpoint directory.
         ``lam``/``weighted`` saved by :meth:`save` are restored unless
-        overridden via ``kwargs``.
+        overridden via ``kwargs``, and the fold-in bookkeeping (trained
+        user count plus each folded user's item set) is restored when
+        present, so exclusion behaves exactly as before the save.
         """
         restored = CheckpointManager(directory).latest()
         if restored is None:
@@ -179,19 +189,108 @@ class FactorStore:
             kwargs.setdefault("lam", float(restored.extras["lam"]))
         if "weighted" in restored.extras:
             kwargs.setdefault("weighted", bool(restored.extras["weighted"]))
-        return cls(restored.x, restored.theta, **kwargs)
+        store = cls(restored.x, restored.theta, **kwargs)
+        if "n_trained_users" in restored.extras:
+            n_trained = int(restored.extras["n_trained_users"])
+            indptr = np.asarray(restored.extras["foldin_indptr"], dtype=np.int64)
+            items = np.asarray(restored.extras["foldin_items"], dtype=np.int64)
+            folded = {
+                n_trained + j: items[indptr[j] : indptr[j + 1]].copy()
+                for j in range(indptr.size - 1)
+            }
+            store._restore_fold_state(n_trained, folded)
+        return store
 
     def save(self, directory: str) -> str:
         """Persist the factors through the checkpoint layer; returns the path.
 
         Folded-in users are included (the saved X has one row per user
         the store currently knows), as are the ``lam``/``weighted``
-        fold-in hyper-parameters, so :meth:`load` reproduces fold-in
-        behaviour exactly.
+        fold-in hyper-parameters and the fold-in bookkeeping — the
+        trained-user count plus a CSR-style encoding of each folded
+        user's item set — so :meth:`load` reproduces fold-in and
+        exclusion behaviour exactly.  The snapshot is written as the
+        directory's new latest checkpoint; earlier *store* snapshots in
+        the directory are garbage-collected (only the newest is servable)
+        but a trainer's own checkpoints are never deleted, so a shared
+        mid-training checkpoint directory keeps its history.
         """
-        return CheckpointManager(directory, keep=1).save(
-            0, self.x, self.theta, lam=np.float64(self.lam), weighted=np.bool_(self.weighted)
+        folded = [self._folded_items[u] for u in range(self._n_trained_users, self.n_users)]
+        sizes = np.array([seg.size for seg in folded], dtype=np.int64)
+        indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+        items = np.concatenate(folded) if folded else np.empty(0, dtype=np.int64)
+        manager = CheckpointManager(directory, keep=1)
+        existing = manager.list_iterations()
+        # Become the *latest* checkpoint (so load() restores this snapshot;
+        # saving below an existing iteration would even prune the file
+        # written here) while retention is widened so the manager's own
+        # pruning cannot evict a trainer's checkpoints from a shared
+        # directory.
+        manager.keep = len(existing) + 1
+        iteration = existing[-1] + 1 if existing else 0
+        path = manager.save(
+            iteration,
+            self.x,
+            self.theta,
+            lam=np.float64(self.lam),
+            weighted=np.bool_(self.weighted),
+            n_trained_users=np.int64(self._n_trained_users),
+            foldin_indptr=indptr,
+            foldin_items=items,
         )
+        # GC superseded store snapshots (recognisable by their fold-in
+        # extras) so repeated saves into one directory keep exactly one
+        # servable file; training checkpoints lack the marker and survive.
+        for old_iteration in existing:
+            old_path = os.path.join(manager.directory, f"cumf_iter{old_iteration}.npz")
+            try:
+                with np.load(old_path) as blob:
+                    is_store_snapshot = "n_trained_users" in blob.files
+            except (OSError, ValueError):  # pragma: no cover - benign race
+                continue
+            if is_store_snapshot:
+                os.remove(old_path)
+        return path
+
+    def _restore_fold_state(self, n_trained_users: int, folded_items: dict) -> None:
+        """Adopt fold-in bookkeeping from a saved or replicated store."""
+        if not 0 <= n_trained_users <= self.n_users:
+            raise ValueError(
+                f"n_trained_users must be in [0, {self.n_users}], got {n_trained_users}"
+            )
+        if set(folded_items) != set(range(n_trained_users, self.n_users)):
+            raise ValueError("folded-items map must cover exactly the rows above n_trained_users")
+        self._n_trained_users = int(n_trained_users)
+        self._folded_items = {
+            int(u): np.asarray(seg, dtype=np.int64) for u, seg in folded_items.items()
+        }
+
+    def replicate(self, *, machine: MultiGPUMachine | None = None, n_shards: int | None = None) -> "FactorStore":
+        """An independent copy of this snapshot on a fresh simulated machine.
+
+        The clone serves the same users — trained and folded-in alike,
+        with identical exclusion behaviour — but owns private factor
+        copies, its own machine/clock and zeroed stats, so replicas
+        accumulate simulated time independently.  This is the building
+        block :class:`~repro.serving.cluster.ServingCluster` replicates.
+        """
+        if machine is None and n_shards is None:
+            n_shards = self.n_shards
+        clone = type(self)(
+            self.x,
+            self.theta,
+            lam=self.lam,
+            weighted=self.weighted,
+            machine=machine,
+            n_shards=n_shards,
+            score_dtype=self.score_dtype,
+            solver=self.solver,
+        )
+        clone._restore_fold_state(
+            self._n_trained_users,
+            {u: seg.copy() for u, seg in self._folded_items.items()},
+        )
+        return clone
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -369,6 +468,7 @@ class FactorStore:
         just as on a real GPU.
         """
         before = self.machine.elapsed_seconds()
+        busy_before = self._device_busy()
         f = self.f
         self.machine.run_transfers(
             [
@@ -411,9 +511,26 @@ class FactorStore:
         self.stats.queries += b
         self.stats.batches += 1
         self.stats.simulated_seconds += elapsed
-        for i in range(self.n_shards):
-            dev = self.machine.device(i)
-            self.stats.per_device_seconds[i] = dev.busy_seconds()
+        self._account_device_deltas(busy_before)
+
+    def _device_busy(self) -> list[float]:
+        """Cumulative per-device kernel seconds (serving *and* anything else)."""
+        return [self.machine.device(i).busy_seconds() for i in range(self.n_shards)]
+
+    def _account_device_deltas(self, busy_before: list[float]) -> None:
+        """Credit each device's kernel time since ``busy_before`` to serving.
+
+        ``dev.busy_seconds()`` is cumulative over the device's lifetime —
+        on a machine shared with training it includes training kernels —
+        so the stats accumulate per-operation deltas instead of mirroring
+        the raw counter.
+        """
+        for i, already_busy in enumerate(busy_before):
+            delta = self.machine.device(i).busy_seconds() - already_busy
+            if delta:
+                self.stats.per_device_seconds[i] = (
+                    self.stats.per_device_seconds.get(i, 0.0) + delta
+                )
 
     # ------------------------------------------------------------------ #
     # cold start
@@ -438,6 +555,7 @@ class FactorStore:
         # on device 0, plus shipping the ratings up and the factor back.
         nnz = int(np.asarray(items).size)
         before = self.machine.elapsed_seconds()
+        busy_before = self._device_busy()
         self.machine.run_transfers(
             [self.machine.h2d(0, 2 * nnz * FLOAT_BYTES, tag="foldin-ratings")],
             label="serve-h2d",
@@ -453,4 +571,5 @@ class FactorStore:
         )
         self.stats.fold_ins += 1
         self.stats.simulated_seconds += self.machine.elapsed_seconds() - before
+        self._account_device_deltas(busy_before)
         return user

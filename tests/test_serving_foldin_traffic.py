@@ -90,6 +90,39 @@ class TestQueryTrace:
         assert mean_rate > 100.0  # bursts must raise the average rate
         assert np.all(np.diff(trace.arrivals) >= 0)
 
+    def test_bursty_rate_switches_at_the_boundary(self):
+        """A gap crossing a regime boundary is re-drawn at the new regime's rate.
+
+        With a near-silent base rate (mean gap 10 s >> the 1 s period) and a
+        hot burst, every gap drawn in a quiet stretch overshoots the
+        quiet->burst boundary, so arrivals must come from re-draws at the
+        burst rate just past the boundary.  The old code decided the rate
+        from the *previous* arrival time, which made quiet-rate gaps leap
+        over entire bursts: its first arrival landed around t=10, not at
+        the first burst boundary.
+        """
+        trace = QueryTrace.bursty(
+            500, 0.1, 10_000.0, 20, burst_every_s=1.0, burst_len_s=0.1, seed=0
+        )
+        quiet_len = 0.9
+        # first arrival pinned hard at the first quiet->burst boundary
+        assert quiet_len <= trace.arrivals[0] < quiet_len + 0.005
+        # and (for this seed) every arrival falls inside a burst window
+        assert np.all(trace.arrivals % 1.0 >= quiet_len)
+
+    def test_bursty_per_regime_rates_match_spec(self):
+        """Empirical quiet/burst arrival counts must reflect the two rates."""
+        base_qps, burst_qps = 200.0, 2000.0
+        trace = QueryTrace.bursty(
+            4000, base_qps, burst_qps, 50, burst_every_s=0.5, burst_len_s=0.25, seed=1
+        )
+        phase = trace.arrivals % 0.5
+        quiet_count = int(np.sum(phase < 0.25))
+        burst_count = int(np.sum(phase >= 0.25))
+        # equal regime lengths, so the count ratio estimates the rate ratio (10x)
+        ratio = burst_count / quiet_count
+        assert 8.0 <= ratio <= 12.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             QueryTrace.poisson(0, 10.0, 5)

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import ALSConfig, CuMF
+from repro.core.checkpoint import CheckpointManager
 from repro.gpu.machine import MultiGPUMachine
 from repro.serving import FactorStore
 
@@ -173,9 +176,57 @@ class TestPersistence:
         u_b = reloaded.fold_in(items, ratings)
         np.testing.assert_array_equal(store.x[u_a], reloaded.x[u_b])
 
+    def test_save_load_preserves_fold_in_state(self, store, tiny_ratings, tmp_path):
+        """Reloading a store with fold-ins must keep exclusion behaviour intact.
+
+        The saved X gains one row per folded user, so a reloaded store
+        must still know which rows are fold-ins (their item sets live in
+        the store, not in the exclude matrix) — otherwise
+        ``recommend_batch(exclude=train)`` rejects the exclude matrix for
+        having fewer rows than users.
+        """
+        folded = [
+            store.fold_in(*tiny_ratings.train.row(3)),
+            store.fold_in(np.array([2, 8, 11]), np.array([5.0, 1.0, 3.0])),
+            store.fold_in(np.empty(0, dtype=np.int64), np.empty(0)),  # ratings-less user
+        ]
+        store.save(str(tmp_path))
+        reloaded = FactorStore.load(str(tmp_path))
+        assert reloaded.n_users == store.n_users
+        assert reloaded._n_trained_users == store._n_trained_users
+        for user in folded:
+            np.testing.assert_array_equal(reloaded._folded_items[user], store._folded_items[user])
+        users = np.concatenate([np.arange(10), np.array(folded)])
+        # the exclude matrix still has only trained-user rows: must not raise
+        want = store.recommend_batch(users, k=8, exclude=tiny_ratings.train)
+        got = reloaded.recommend_batch(users, k=8, exclude=tiny_ratings.train)
+        assert got == want
+        # fold-in items stay excluded for the folded users after reload
+        recs = reloaded.recommend(folded[1], k=reloaded.n_items, exclude=tiny_ratings.train)
+        assert not {2, 8, 11} & {i for i, _ in recs}
+
     def test_load_empty_directory_raises(self, tmp_path):
         with pytest.raises(ValueError, match="no checkpoint"):
             FactorStore.load(str(tmp_path))
+
+    def test_save_into_training_checkpoint_dir_stays_latest(self, store, tiny_ratings, tmp_path):
+        """Saving over a mid-training checkpoint dir must not prune anything.
+
+        The retention layer keeps the highest iterations; a store saved at
+        a fixed low iteration would be deleted in favour of an existing
+        training checkpoint and load() would restore stale factors with no
+        fold-in state.  The trainer's own checkpoints must survive too.
+        """
+        CheckpointManager(str(tmp_path)).save(5, np.zeros((3, 8)), np.zeros((4, 8)))
+        user = store.fold_in(np.array([1, 2]), np.array([4.0, 5.0]))
+        path = store.save(str(tmp_path))
+        assert os.path.exists(path)
+        reloaded = FactorStore.load(str(tmp_path))
+        assert reloaded.n_users == store.n_users
+        np.testing.assert_array_equal(reloaded.x, store.x)
+        np.testing.assert_array_equal(reloaded._folded_items[user], store._folded_items[user])
+        # the pre-existing training checkpoint was not evicted
+        assert CheckpointManager(str(tmp_path)).list_iterations() == [5, 6]
 
     def test_load_from_training_checkpoint(self, tiny_ratings, tmp_path):
         model = CuMF(
@@ -186,6 +237,40 @@ class TestPersistence:
         model.fit(tiny_ratings.train)
         store = FactorStore.load(str(tmp_path))
         np.testing.assert_array_equal(store.x, model.result.x)
+
+
+class TestPerDeviceAccounting:
+    def test_serving_seconds_exclude_other_tenants(self):
+        """On a shared machine, stats must count serving kernels only."""
+        rng = np.random.default_rng(1)
+        x, theta = rng.random((300, 8)), rng.random((900, 8))
+        machine = MultiGPUMachine(n_gpus=2)
+        tenant = FactorStore(x, theta, machine=machine)
+        tenant.recommend_batch(np.arange(16), k=5)  # pre-existing busy time
+        store = FactorStore(x, theta, machine=machine)
+        store.recommend_batch(np.arange(16), k=5)
+        for dev in range(2):
+            assert store.stats.per_device_seconds[dev] > 0.0
+            # strictly less than the cumulative counter, which includes the tenant
+            assert store.stats.per_device_seconds[dev] < machine.device(dev).busy_seconds()
+        assert store.stats.per_device_seconds == pytest.approx(tenant.stats.per_device_seconds)
+
+    def test_fold_in_charges_device_zero(self, fitted, tiny_ratings):
+        store = fitted.export_store(n_shards=2)
+        store.recommend_batch(np.arange(8), k=3)
+        before = dict(store.stats.per_device_seconds)
+        store.fold_in(*tiny_ratings.train.row(2))
+        assert store.stats.per_device_seconds[0] > before[0]
+        assert store.stats.per_device_seconds[1] == before[1]  # solve runs on device 0
+
+    def test_deltas_accumulate_batch_over_batch(self, fitted):
+        store = fitted.export_store(n_shards=2)
+        store.recommend_batch(np.arange(8), k=3)
+        one_batch = dict(store.stats.per_device_seconds)
+        store.recommend_batch(np.arange(8), k=3)
+        for dev, seconds in store.stats.per_device_seconds.items():
+            assert seconds == pytest.approx(2 * one_batch[dev])
+        assert "per_device_seconds" in store.stats.as_dict()
 
 
 class TestTrainerDelegation:
@@ -207,6 +292,19 @@ class TestTrainerDelegation:
         for u, got in zip(users, batch):
             want = fitted.recommend(int(u), k=3, exclude=tiny_ratings.train)
             assert [i for i, _ in got] == [i for i, _ in want]
+
+    def test_trainer_passes_user_block_through(self, fitted):
+        """The facade must expose the store's score-buffer knob unchanged."""
+        users = np.arange(40)
+        whole = fitted.recommend_batch(users, k=4)
+        blocked = fitted.recommend_batch(users, k=4, user_block=7)
+        assert whole == blocked
+        store = fitted._serving_store()
+        batches_before = store.stats.batches
+        fitted.recommend_batch(users, k=4, user_block=10)
+        # 40 users at user_block=10 means four scoring blocks, proof the
+        # knob reached FactorStore.recommend_batch rather than being dropped
+        assert store.stats.batches == batches_before + 4
 
     def test_refit_invalidates_snapshot(self, tiny_ratings):
         model = CuMF(ALSConfig(f=8, lam=0.05, iterations=1, seed=1, row_batch=128), backend="base")
