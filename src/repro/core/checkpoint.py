@@ -54,7 +54,11 @@ class CheckpointManager:
         """Atomically persist the factors of one iteration; prunes old files.
 
         ``extras`` (array-convertible values) are stored in the same npz
-        and surface again on :attr:`Checkpoint.extras`.
+        and surface again on :attr:`Checkpoint.extras`.  An extra named
+        ``protected`` (any value) marks the file as exempt from retention
+        pruning: the serving tier and the snapshot registry park their
+        snapshots in (possibly shared) checkpoint directories and a
+        trainer's ``keep=N`` rotation must never evict them.
         """
         if iteration < 0:
             raise ValueError("iteration must be non-negative")
@@ -70,12 +74,29 @@ class CheckpointManager:
         return path
 
     def _prune(self) -> None:
-        existing = sorted(self.list_iterations())
-        for iteration in existing[: max(0, len(existing) - self.keep)]:
+        # Retention applies to the trainer's own rotation only: protected
+        # files (store snapshots, registry versions) neither count against
+        # ``keep`` nor get deleted.
+        prunable = [it for it in sorted(self.list_iterations()) if not self._is_protected(it)]
+        for iteration in prunable[: max(0, len(prunable) - self.keep)]:
             try:
                 os.remove(self._path(iteration))
             except FileNotFoundError:  # pragma: no cover - benign race
                 pass
+
+    def _is_protected(self, iteration: int) -> bool:
+        """Whether a checkpoint opted out of retention pruning.
+
+        Recognised by the ``protected`` extra, plus the serving layer's
+        ``n_trained_users`` fold-in marker so store snapshots written
+        before the flag existed stay safe too.  Reading ``.files`` only
+        touches the zip directory, so the scan is cheap.
+        """
+        try:
+            with np.load(self._path(iteration)) as blob:
+                return bool({"protected", "n_trained_users"} & set(blob.files))
+        except (OSError, ValueError):  # pragma: no cover - benign race
+            return False
 
     # ------------------------------------------------------------------ #
     def list_iterations(self) -> list[int]:

@@ -120,6 +120,58 @@ class CuMF:
 
         return FactorStore.from_result(self._require_fit(), machine=machine, n_shards=n_shards, **kwargs)
 
+    def refresh(self, train: CSRMatrix, log):
+        """Fold serving-time ratings back into the model incrementally.
+
+        ``train`` is the ratings matrix the current factors were fitted
+        on and ``log`` an :class:`~repro.serving.lifecycle.InteractionLog`
+        of what arrived through serving since.  Only the affected user
+        rows are re-solved (against the frozen Θ, extended with θ rows
+        folded in for brand-new items), using the same normal-equations
+        kernels as training, so refreshed rows equal a full update pass
+        over the merged ratings.  The trainer's result is replaced with
+        the refreshed factors (its serving snapshot is invalidated and a
+        checkpoint is written when checkpointing is on) and the
+        :class:`~repro.serving.lifecycle.RefreshResult` is returned —
+        its ``ratings`` field is the merged matrix to pass to the *next*
+        refresh, and its factors are what :meth:`export_registry`
+        publishes as the next version.
+        """
+        from repro.serving.lifecycle import refresh_factors
+
+        result = self._require_fit()
+        refreshed = refresh_factors(result.x, result.theta, train, log, self.config.lam)
+        solver = result.solver if result.solver.endswith("+refresh") else result.solver + "+refresh"
+        self.result = FitResult(
+            x=refreshed.x,
+            theta=refreshed.theta,
+            history=list(result.history),
+            solver=solver,
+            config=result.config,
+        )
+        self._store = None  # the served snapshot is stale now
+        if self.checkpoints is not None:
+            existing = self.checkpoints.list_iterations()
+            iteration = existing[-1] + 1 if existing else 0
+            self.checkpoints.save(iteration, refreshed.x, refreshed.theta)
+        return refreshed
+
+    def export_registry(self, directory: str, tag: str = ""):
+        """Publish the fitted factors as the next version of a registry.
+
+        Creates (or reopens) a
+        :class:`~repro.serving.lifecycle.SnapshotRegistry` at
+        ``directory``, publishes the current result there, and returns
+        the registry — the object a
+        :class:`~repro.serving.lifecycle.RolloutController` rolls
+        serving clusters from.
+        """
+        from repro.serving.lifecycle import SnapshotRegistry
+
+        registry = SnapshotRegistry(directory)
+        registry.publish_result(self._require_fit(), tag=tag)
+        return registry
+
     def export_cluster(self, n_replicas: int = 2, router="least-loaded", **kwargs):
         """Snapshot the fitted factors into a replicated :class:`ServingCluster`.
 

@@ -23,6 +23,12 @@ package is that missing online half:
   write-through fold-in so every replica serves a cold-start user under
   the same id; the simulator drives a cluster with per-replica
   timelines and reports per-replica utilization.
+* :mod:`~repro.serving.lifecycle` — the train → serve → retrain loop:
+  an :class:`InteractionLog` of serving-time ratings, an incremental
+  refresh (affected user rows + new-item fold-in) solved with the
+  training kernels, a versioned :class:`SnapshotRegistry`, and a
+  :class:`RolloutController` that swaps a cluster v1 → v2 one drained
+  replica at a time while traffic keeps flowing.
 """
 
 from repro.serving.cluster import (
@@ -33,8 +39,17 @@ from repro.serving.cluster import (
     ServingCluster,
     make_router,
 )
-from repro.serving.foldin import fold_in_user, fold_in_users
-from repro.serving.simulator import QueryTrace, RequestSimulator, TrafficReport
+from repro.serving.foldin import fold_in_user, fold_in_users, validate_ratings
+from repro.serving.lifecycle import (
+    InteractionLog,
+    RefreshResult,
+    RolloutController,
+    Snapshot,
+    SnapshotRegistry,
+    merged_ratings,
+    refresh_factors,
+)
+from repro.serving.simulator import LifecycleEvent, QueryTrace, RequestSimulator, TrafficReport
 from repro.serving.store import FactorStore, ServingStats
 
 __all__ = [
@@ -48,7 +63,16 @@ __all__ = [
     "make_router",
     "fold_in_user",
     "fold_in_users",
+    "validate_ratings",
     "QueryTrace",
     "RequestSimulator",
     "TrafficReport",
+    "LifecycleEvent",
+    "InteractionLog",
+    "RefreshResult",
+    "merged_ratings",
+    "refresh_factors",
+    "Snapshot",
+    "SnapshotRegistry",
+    "RolloutController",
 ]

@@ -154,9 +154,14 @@ class ServingCluster:
     router:
         Routing policy: a :class:`Router` instance or one of
         ``"round-robin"``, ``"least-loaded"``, ``"power-of-two"``.
+    log:
+        Optional :class:`~repro.serving.lifecycle.InteractionLog`; when
+        set, each write-through :meth:`fold_in` is recorded there exactly
+        once (at the cluster level, not once per replica) so a later
+        incremental refresh can fold the ratings back into training.
     """
 
-    def __init__(self, replicas: Sequence[FactorStore], router: Router | str = "least-loaded"):
+    def __init__(self, replicas: Sequence[FactorStore], router: Router | str = "least-loaded", log=None):
         replicas = list(replicas)
         if not replicas:
             raise ValueError("a cluster needs at least one replica")
@@ -188,9 +193,13 @@ class ServingCluster:
                 raise ValueError(f"replica {i} serves different factors or fold-ins")
         self.replicas = replicas
         self.router = make_router(router)
+        self.log = log
+        # Draining replicas stay in the list (they keep their queues and
+        # stats) but are skipped by routing until restored.
+        self._active = [True] * len(replicas)
 
     @classmethod
-    def from_store(cls, store: FactorStore, n_replicas: int, router: Router | str = "least-loaded") -> "ServingCluster":
+    def from_store(cls, store: FactorStore, n_replicas: int, router: Router | str = "least-loaded", log=None) -> "ServingCluster":
         """Replicate ``store`` onto ``n_replicas`` fresh machines.
 
         The source store is left untouched (it is not one of the
@@ -199,7 +208,7 @@ class ServingCluster:
         """
         if n_replicas < 1:
             raise ValueError("n_replicas must be at least 1")
-        return cls([store.replicate() for _ in range(n_replicas)], router=router)
+        return cls([store.replicate() for _ in range(n_replicas)], router=router, log=log)
 
     @classmethod
     def from_result(cls, result, n_replicas: int, router: Router | str = "least-loaded", **store_kwargs) -> "ServingCluster":
@@ -208,7 +217,9 @@ class ServingCluster:
         Each replica is built directly from the result (no intermediate
         throwaway store).  ``store_kwargs`` configure the per-replica
         stores; a shared ``machine`` is rejected because every replica
-        must own an independent simulated machine.
+        must own an independent simulated machine, and a ``log`` is
+        attached at the cluster level (never per replica, which would
+        record every write-through fold-in once per replica).
         """
         if n_replicas < 1:
             raise ValueError("n_replicas must be at least 1")
@@ -216,8 +227,9 @@ class ServingCluster:
             raise ValueError(
                 "replicas own independent machines; configure n_shards/score_dtype instead"
             )
+        log = store_kwargs.pop("log", None)
         replicas = [FactorStore.from_result(result, **store_kwargs) for _ in range(n_replicas)]
-        return cls(replicas, router=router)
+        return cls(replicas, router=router, log=log)
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -249,24 +261,63 @@ class ServingCluster:
         )
 
     # ------------------------------------------------------------------ #
-    # reads: routed to one replica
+    # lifecycle: drain / restore for rolling snapshot swaps
     # ------------------------------------------------------------------ #
-    def _loads(self) -> list[float]:
-        """Per-replica load for direct (synchronous) routing decisions.
+    @property
+    def n_active(self) -> int:
+        """Number of replicas currently in rotation."""
+        return sum(self._active)
 
-        Outside the traffic simulator there is no shared timeline, so
-        cumulative simulated serving seconds stand in for outstanding
-        work — the router then balances total work across replicas.
+    def active_indices(self) -> list[int]:
+        """Indices of the replicas the router may pick."""
+        return [i for i, active in enumerate(self._active) if active]
+
+    def is_active(self, replica: int) -> bool:
+        """Whether ``replica`` is in rotation (i.e. not draining)."""
+        return self._active[replica]
+
+    def drain(self, replica: int) -> None:
+        """Take one replica out of rotation (e.g. to swap its snapshot).
+
+        The replica keeps its machine, stats and any outstanding
+        simulated work; it simply stops receiving new batches until
+        :meth:`restore`.  Draining the last active replica is refused —
+        a rolling operation must always leave someone serving.
         """
-        return [rep.stats.simulated_seconds for rep in self.replicas]
+        if not 0 <= replica < self.n_replicas:
+            raise ValueError(f"no replica {replica} in a {self.n_replicas}-replica cluster")
+        if not self._active[replica]:
+            raise ValueError(f"replica {replica} is already draining")
+        if self.n_active == 1:
+            raise RuntimeError("cannot drain the last active replica")
+        self._active[replica] = False
 
+    def restore(self, replica: int) -> None:
+        """Return a drained replica to rotation."""
+        if not 0 <= replica < self.n_replicas:
+            raise ValueError(f"no replica {replica} in a {self.n_replicas}-replica cluster")
+        if self._active[replica]:
+            raise ValueError(f"replica {replica} is not draining")
+        self._active[replica] = True
+
+    # ------------------------------------------------------------------ #
+    # reads: routed to one active replica
+    # ------------------------------------------------------------------ #
     def route(self) -> int:
-        """Ask the router for the replica that should take the next batch."""
-        return select_replica(self.router, self._loads())
+        """Ask the router for the replica that should take the next batch.
+
+        Only active replicas are offered to the router (their cumulative
+        simulated serving seconds stand in for outstanding work outside
+        the traffic simulator); the returned index is a global replica
+        index.
+        """
+        active = self.active_indices()
+        loads = [self.replicas[i].stats.simulated_seconds for i in active]
+        return active[select_replica(self.router, loads)]
 
     def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        """Predicted ratings (replica-independent; served from replica 0)."""
-        return self.replicas[0].predict(users, items)
+        """Predicted ratings (replica-independent; first active replica)."""
+        return self.replicas[self.active_indices()[0]].predict(users, items)
 
     def recommend(self, user: int, k: int = 10, exclude=None) -> list[tuple[int, float]]:
         """Top-``k`` for one user, routed to one replica."""
@@ -296,7 +347,28 @@ class ServingCluster:
         for rep in self.replicas:
             assigned = rep.fold_in(items, ratings)
             assert assigned == user  # ids are allocated densely per replica
+        if self.log is not None:
+            self.log.record(user, items, ratings)
         return user
+
+    def grow_items(self, new_theta: np.ndarray) -> int:
+        """Write-through item growth: append θ rows on *every* replica.
+
+        The item-side half of a refresh: new items folded in against the
+        frozen X are appended to each replica's Θ, so the item axis grows
+        consistently and any replica can serve the new items.  Returns
+        the id of the first new item (identical everywhere); raises
+        :class:`RuntimeError` — before touching any replica — if the
+        replicas already disagree on the item count.
+        """
+        start = self.replicas[0].n_items
+        if any(rep.n_items != start for rep in self.replicas):
+            counts = [rep.n_items for rep in self.replicas]
+            raise RuntimeError(f"replicas diverged: item counts {counts}")
+        for rep in self.replicas:
+            appended = rep.grow_items(new_theta)
+            assert appended == start  # item ids are allocated densely per replica
+        return start
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -310,7 +382,9 @@ class ServingCluster:
         return {
             "router": self.router.name,
             "n_replicas": self.n_replicas,
+            "n_active": self.n_active,
             "queries": self.total_queries(),
             "fold_ins": sum(rep.stats.fold_ins for rep in self.replicas),
+            "versions": [rep.version for rep in self.replicas],
             "per_replica": [rep.stats.as_dict() for rep in self.replicas],
         }

@@ -19,7 +19,36 @@ import numpy as np
 from repro.core.hermitian import batch_solve, compute_hermitians
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["fold_in_user", "fold_in_users"]
+__all__ = ["fold_in_user", "fold_in_users", "validate_ratings"]
+
+
+def validate_ratings(
+    items: np.ndarray, ratings: np.ndarray, n_items: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce aligned ``(items, ratings)`` event arrays to ``(int64, float64)``.
+
+    This is the one validation gate every rating-ingest path shares —
+    :func:`fold_in_user`, :meth:`FactorStore.fold_in` and
+    :class:`~repro.serving.lifecycle.InteractionLog.record` — so bad
+    input fails identically everywhere: items must be 1-D integer
+    indices aligned with the ratings, non-negative, and (when ``n_items``
+    is given) within range.  Duplicate item ids are *allowed* here; the
+    downstream CSR construction sums them, matching the deduplication
+    the trainer applies to its input.
+    """
+    items = np.asarray(items)
+    ratings = np.asarray(ratings, dtype=np.float64)
+    if items.shape != ratings.shape or items.ndim != 1:
+        raise ValueError("items and ratings must be aligned 1-D arrays")
+    if items.size and not np.issubdtype(items.dtype, np.integer):
+        raise ValueError(f"items must be integer indices, got dtype {items.dtype}")
+    items = items.astype(np.int64, copy=False)
+    if n_items is not None:
+        if items.size and (items.min() < 0 or items.max() >= n_items):
+            raise ValueError(f"item index out of range for {n_items} items")
+    elif items.size and items.min() < 0:
+        raise ValueError("item indices must be non-negative")
+    return items, ratings
 
 
 def fold_in_users(
@@ -52,16 +81,8 @@ def fold_in_user(
     Returns the ``(f,)`` factor vector.  Duplicate item ids are summed,
     matching the CSR deduplication the trainer applies to its input.
     """
-    items = np.asarray(items)
-    ratings = np.asarray(ratings, dtype=np.float64)
-    if items.shape != ratings.shape or items.ndim != 1:
-        raise ValueError("items and ratings must be aligned 1-D arrays")
-    if items.size and not np.issubdtype(items.dtype, np.integer):
-        raise ValueError(f"items must be integer indices, got dtype {items.dtype}")
-    items = items.astype(np.int64, copy=False)
     theta = np.asarray(theta, dtype=np.float64)
     n = theta.shape[0]
-    if items.size and (items.min() < 0 or items.max() >= n):
-        raise ValueError(f"item index out of range for {n} items")
+    items, ratings = validate_ratings(items, ratings, n)
     row = CSRMatrix.from_arrays((1, n), np.zeros_like(items), items, ratings)
     return fold_in_users(row, theta, lam, weighted=weighted)[0]

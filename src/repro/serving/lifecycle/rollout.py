@@ -1,0 +1,150 @@
+"""Zero-downtime snapshot rollout across a serving cluster.
+
+Shipping a refreshed model must not drop traffic.
+:class:`RolloutController` performs the classic rolling swap: one
+replica at a time is drained (the router stops sending it batches),
+its :class:`~repro.serving.store.FactorStore` is swapped to the new
+:class:`~repro.serving.lifecycle.registry.SnapshotRegistry` version, and
+it returns to rotation — so at every instant at least ``R - 1`` replicas
+serve, and a mid-rollout cluster intentionally runs mixed v1/v2 for a
+while (top-k answers may differ per replica until the swap completes,
+the standard rollout trade-off).
+
+Two driving modes:
+
+* :meth:`rollout` — immediate, for offline swaps with no traffic;
+* :meth:`plan_events` — a list of
+  :class:`~repro.serving.simulator.LifecycleEvent` s for
+  :meth:`RequestSimulator.run`, which executes the drain/swap/restore
+  choreography *mid-trace* on the simulated timeline while queries keep
+  flowing around the drained replica.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.serving.cluster import ServingCluster
+from repro.serving.lifecycle.registry import Snapshot, SnapshotRegistry
+from repro.serving.simulator import LifecycleEvent
+
+__all__ = ["RolloutController"]
+
+
+class RolloutController:
+    """Rolls a :class:`ServingCluster` from its current snapshot to a registry version."""
+
+    def __init__(self, cluster: ServingCluster, registry: SnapshotRegistry):
+        self.cluster = cluster
+        self.registry = registry
+
+    # ------------------------------------------------------------------ #
+    def _checked_snapshot(self, version: int | None) -> Snapshot:
+        """Load and sanity-check the target version against live traffic.
+
+        A snapshot that serves fewer users or items than the live model
+        would turn in-flight queries into errors mid-rollout, so rollouts
+        only move forward (axes grow or stay).
+        """
+        snap = self.registry.load(version)
+        live = self.cluster.replicas[0]
+        if snap.x.shape[0] < live.n_users:
+            raise ValueError(
+                f"snapshot v{snap.version} serves {snap.x.shape[0]} users "
+                f"but the cluster serves {live.n_users}"
+            )
+        if snap.theta.shape[0] < live.n_items:
+            raise ValueError(
+                f"snapshot v{snap.version} serves {snap.theta.shape[0]} items "
+                f"but the cluster serves {live.n_items}"
+            )
+        return snap
+
+    def _swap(self, replica: int, snap: Snapshot) -> None:
+        self.cluster.replicas[replica].swap_snapshot(
+            snap.x, snap.theta, lam=snap.lam, weighted=snap.weighted, version=snap.label
+        )
+
+    def _swap_and_restore(self, replica: int, snap: Snapshot) -> None:
+        self._swap(replica, snap)
+        self.cluster.restore(replica)
+
+    # ------------------------------------------------------------------ #
+    def rollout(self, version: int | None = None) -> Snapshot:
+        """Swap every replica to ``version`` right now, one at a time.
+
+        Each replica is drained, swapped and restored before the next
+        one starts, so a cluster serving direct (non-simulator) traffic
+        concurrently never sees fewer than ``R - 1`` active replicas.
+        Returns the snapshot that was rolled out.
+        """
+        snap = self._checked_snapshot(version)
+        if self.cluster.n_replicas == 1:
+            # Nothing to rotate behind: swap the lone replica directly
+            # (drain would refuse to take the last active replica out).
+            self._swap(0, snap)
+            return snap
+        for replica in range(self.cluster.n_replicas):
+            self.cluster.drain(replica)
+            self._swap_and_restore(replica, snap)
+        return snap
+
+    def plan_events(
+        self,
+        version: int | None = None,
+        *,
+        start_s: float,
+        step_s: float,
+        swap_s: float | None = None,
+    ) -> list[LifecycleEvent]:
+        """The rolling swap as simulator events, one replica per step.
+
+        Replica ``i`` is drained at ``start_s + i * step_s`` and comes
+        back — swapped to the new version — ``swap_s`` (simulated)
+        seconds later, modelling the time a real replica spends loading
+        the new factors.  ``swap_s`` defaults to half a step and must not
+        exceed ``step_s``, so at most one replica is out at a time.
+        Needs at least two replicas (someone must serve while one
+        drains); use :meth:`rollout` for a single-replica cluster.
+        """
+        if self.cluster.n_replicas < 2:
+            raise ValueError(
+                "a rolling swap under traffic needs at least 2 replicas; "
+                "use rollout() for a single-replica cluster"
+            )
+        if start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        if swap_s is None:
+            swap_s = 0.5 * step_s
+        if not 0 < swap_s <= step_s:
+            raise ValueError("need 0 < swap_s <= step_s (one replica out at a time)")
+        snap = self._checked_snapshot(version)
+        events: list[LifecycleEvent] = []
+        for replica in range(self.cluster.n_replicas):
+            drain_at = start_s + replica * step_s
+            events.append(
+                LifecycleEvent(
+                    time=drain_at,
+                    action=partial(self.cluster.drain, replica),
+                    label=f"drain r{replica}",
+                )
+            )
+            events.append(
+                LifecycleEvent(
+                    time=drain_at + swap_s,
+                    action=partial(self._swap_and_restore, replica, snap),
+                    label=f"swap r{replica} -> {snap.label}",
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """Per-replica version/rotation view (for prints and asserts)."""
+        return {
+            "versions": [rep.version for rep in self.cluster.replicas],
+            "active": self.cluster.active_indices(),
+            "registry": self.registry.versions(),
+        }

@@ -15,7 +15,8 @@ hardware.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -24,7 +25,30 @@ from repro.serving.cluster import Router, ServingCluster, select_replica
 from repro.serving.store import FactorStore
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["QueryTrace", "RequestSimulator", "TrafficReport"]
+__all__ = ["LifecycleEvent", "QueryTrace", "RequestSimulator", "TrafficReport"]
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """A model-lifecycle action scheduled on the simulated timeline.
+
+    ``action`` runs (once) when the replay clock passes ``time`` — e.g.
+    drain a replica, swap its snapshot, return it to rotation.  Events
+    fire between batch dispatches at arrival-time granularity; events
+    scheduled past the last arrival are applied when the trace ends, so
+    a rollout always completes.  Build rollout event lists with
+    :meth:`~repro.serving.lifecycle.RolloutController.plan_events`.
+    """
+
+    time: float
+    action: Callable[[], None]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        if not callable(self.action):
+            raise ValueError("event action must be callable")
 
 
 @dataclass(frozen=True)
@@ -137,6 +161,14 @@ class TrafficReport:
     against a :class:`~repro.serving.cluster.ServingCluster` they merge
     the replicas' timelines: one query count, busy time and utilization
     (busy / makespan) per replica, plus the routing policy used.
+
+    When the replay carried :class:`LifecycleEvent` s (e.g. a rolling
+    snapshot swap), ``per_version_queries`` counts the queries each model
+    version answered, ``n_dropped`` counts queries that arrived while no
+    replica was in rotation (zero for a well-planned rollout), and
+    ``window_p95_s`` is the latency p95 of the queries that arrived
+    inside the event window — the rollout-degradation figure to compare
+    against the steady-state p95.
     """
 
     label: str
@@ -155,6 +187,11 @@ class TrafficReport:
     per_replica_queries: tuple = ()
     per_replica_busy_s: tuple = ()
     per_replica_utilization: tuple = ()
+    per_version_queries: dict = field(default_factory=dict)
+    n_dropped: int = 0
+    n_events: int = 0
+    window_queries: int = 0
+    window_p95_s: float = 0.0
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -175,6 +212,16 @@ class TrafficReport:
                 )
             )
             text += f"\n  {self.n_replicas} replicas via {self.router}: {per_replica}"
+        if self.n_events:
+            versions = ", ".join(
+                f"{name or 'unversioned'}: {count}q"
+                for name, count in sorted(self.per_version_queries.items())
+            )
+            text += (
+                f"\n  {self.n_events} lifecycle events: {versions}; "
+                f"dropped {self.n_dropped}; "
+                f"window p95 {self.window_p95_s * 1e3:.2f} ms over {self.window_queries} queries"
+            )
         return text
 
 
@@ -225,27 +272,61 @@ class RequestSimulator:
             return self.store.replicas, self.store.router
         return [self.store], None
 
-    def run(self, trace: QueryTrace) -> TrafficReport:
-        """Serve every query in the trace; returns the traffic report."""
+    def _active_indices(self) -> list[int]:
+        """Replicas currently routable (a lone store is always routable)."""
+        if isinstance(self.store, ServingCluster):
+            return self.store.active_indices()
+        return [0]
+
+    def run(self, trace: QueryTrace, events: Sequence[LifecycleEvent] = ()) -> TrafficReport:
+        """Serve every query in the trace; returns the traffic report.
+
+        ``events`` schedules lifecycle actions (drain / snapshot swap /
+        restore, see :class:`LifecycleEvent`) on the replay timeline:
+        each fires once, when the clock reaches the next arrival at or
+        past its time, and routing only considers replicas that are in
+        rotation afterwards.  Should every replica be drained at once,
+        the replay fast-forwards to the next event; with none left the
+        remaining queries are *dropped* and counted in the report.
+        Events scheduled past the last arrival fire when the trace ends.
+        """
         replicas, router = self._backends()
         if router is not None:
             router.reset()
         n_replicas = len(replicas)
         arrivals, users = trace.arrivals, trace.users
         n = trace.n_requests
+        pending = sorted(events, key=lambda event: event.time)
+        next_event = 0
         latencies = np.empty(n, dtype=np.float64)
         server_free = [0.0] * n_replicas
         replica_busy = [0.0] * n_replicas
         replica_queries = [0] * n_replicas
+        version_queries: dict[str, int] = {}
         service_total = 0.0
         n_batches = 0
         i = 0
+        n_served = n
         wall_start = time.perf_counter()
         while i < n:
+            # Apply lifecycle events the clock has reached.
+            while next_event < len(pending) and pending[next_event].time <= arrivals[i]:
+                pending[next_event].action()
+                next_event += 1
+            active = self._active_indices()
+            # Nothing in rotation: fast-forward to the event that will
+            # change that, or drop the rest of the trace.
+            while not active and next_event < len(pending):
+                pending[next_event].action()
+                next_event += 1
+                active = self._active_indices()
+            if not active:
+                n_served = i
+                break
             # Collect the window: everything that has arrived by the time
             # the window closes (deadline or first server availability)
             # joins, capped at max_batch.
-            free_min = min(server_free)
+            free_min = min(server_free[r] for r in active)
             horizon = max(arrivals[i] + self.window_s, free_min)
             j = i
             while j < n and j - i < self.max_batch and arrivals[j] <= horizon:
@@ -254,6 +335,18 @@ class RequestSimulator:
                 dispatch = max(arrivals[j - 1], free_min)
             else:
                 dispatch = horizon
+            # Events due before the dispatch moment take effect now, so a
+            # replica drained while the window was collecting is not routed
+            # to (re-enter the loop if the rotation emptied).
+            fired = False
+            while next_event < len(pending) and pending[next_event].time <= dispatch:
+                pending[next_event].action()
+                next_event += 1
+                fired = True
+            if fired:
+                active = self._active_indices()
+                if not active:
+                    continue
             # Route on outstanding work at dispatch time; a load-blind
             # policy may pick a replica that is still busy, in which case
             # the batch queues behind it (that queueing delay is exactly
@@ -261,8 +354,8 @@ class RequestSimulator:
             if router is None:
                 choice = 0
             else:
-                loads = [max(0.0, free - dispatch) for free in server_free]
-                choice = select_replica(router, loads)
+                loads = [max(0.0, server_free[r] - dispatch) for r in active]
+                choice = active[select_replica(router, loads)]
             replica = replicas[choice]
             before = replica.stats.simulated_seconds
             replica.recommend_batch(users[i:j], k=self.k, exclude=self.exclude)
@@ -272,22 +365,39 @@ class RequestSimulator:
             server_free[choice] = done
             replica_busy[choice] += service
             replica_queries[choice] += j - i
+            version = replica.version
+            version_queries[version] = version_queries.get(version, 0) + (j - i)
             service_total += service
             n_batches += 1
             i = j
+        # Late events (scheduled past the last arrival) still apply, so a
+        # rollout that outlives the trace completes instead of wedging the
+        # cluster half-drained.
+        while next_event < len(pending):
+            pending[next_event].action()
+            next_event += 1
         wall = time.perf_counter() - wall_start
-        makespan = max(server_free) - float(arrivals[0]) if n else 0.0
+        served = latencies[:n_served]
+        makespan = max(server_free) - float(arrivals[0]) if n_served else 0.0
+        window_queries = 0
+        window_p95 = 0.0
+        if pending and n_served:
+            lo, hi = pending[0].time, pending[-1].time
+            in_window = (arrivals[:n_served] >= lo) & (arrivals[:n_served] <= hi)
+            window_queries = int(in_window.sum())
+            if window_queries:
+                window_p95 = float(np.percentile(served[in_window], 95))
         return TrafficReport(
             label=trace.label,
             n_requests=n,
             n_batches=n_batches,
-            mean_batch_size=n / n_batches if n_batches else 0.0,
+            mean_batch_size=n_served / n_batches if n_batches else 0.0,
             makespan_s=makespan,
-            throughput_qps=n / makespan if makespan > 0 else float("inf"),
+            throughput_qps=n_served / makespan if makespan > 0 else float("inf"),
             service_seconds=service_total,
-            latency_p50_s=float(np.percentile(latencies, 50)) if n else 0.0,
-            latency_p95_s=float(np.percentile(latencies, 95)) if n else 0.0,
-            latency_max_s=float(latencies.max()) if n else 0.0,
+            latency_p50_s=float(np.percentile(served, 50)) if n_served else 0.0,
+            latency_p95_s=float(np.percentile(served, 95)) if n_served else 0.0,
+            latency_max_s=float(served.max()) if n_served else 0.0,
             wall_seconds=wall,
             n_replicas=n_replicas,
             router=router.name if router is not None else "",
@@ -296,4 +406,9 @@ class RequestSimulator:
             per_replica_utilization=tuple(
                 busy / makespan if makespan > 0 else 0.0 for busy in replica_busy
             ),
+            per_version_queries=version_queries,
+            n_dropped=n - n_served,
+            n_events=len(pending),
+            window_queries=window_queries,
+            window_p95_s=window_p95,
         )

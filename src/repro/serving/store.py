@@ -38,7 +38,7 @@ from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_p
 from repro.gpu.kernel import KernelProfile
 from repro.gpu.machine import MultiGPUMachine
 from repro.gpu.memory import MemoryKind
-from repro.serving.foldin import fold_in_user
+from repro.serving.foldin import fold_in_user, validate_ratings
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import Partition1D
 
@@ -101,6 +101,15 @@ class FactorStore:
         Precision of the scoring copy (float32, like the cuMF kernels).
     solver:
         Name of the solver that produced the factors (informational).
+    version:
+        Label of the model version being served (e.g. ``"v3"`` from a
+        :class:`~repro.serving.lifecycle.SnapshotRegistry`); updated by
+        :meth:`swap_snapshot` and reported per-version by the traffic
+        simulator during rollouts.
+    log:
+        Optional :class:`~repro.serving.lifecycle.InteractionLog`; when
+        set, every :meth:`fold_in` records its ratings there so an
+        incremental refresh can later fold them back into training.
     """
 
     def __init__(
@@ -114,6 +123,8 @@ class FactorStore:
         n_shards: int | None = None,
         score_dtype: type = np.float32,
         solver: str = "",
+        version: str = "",
+        log=None,
     ):
         # Snapshot semantics: the store owns private, immutable copies, so
         # later training runs cannot mutate what is being served.
@@ -136,29 +147,49 @@ class FactorStore:
         if not 1 <= n_shards <= max(1, theta.shape[0]):
             raise ValueError(f"n_shards must be in [1, {max(1, theta.shape[0])}]")
 
-        self.x = x
-        self.theta = theta
-        self.x.setflags(write=False)
-        self.theta.setflags(write=False)
         # Users [0, _n_trained_users) came from training and map 1:1 onto
         # the rows of an exclude matrix; later fold-ins live above this.
         self._n_trained_users = x.shape[0]
         self.lam = float(lam)
         self.weighted = weighted
         self.solver = solver
+        self.version = str(version)
+        self.log = log
         self.machine = machine or MultiGPUMachine(n_gpus=n_shards)
         self.score_dtype = score_dtype
-        self.partition = Partition1D(theta.shape[0], n_shards)
         self.stats = ServingStats()
-        self._x_score = np.ascontiguousarray(x, dtype=score_dtype)
-        self._shards = [
-            np.ascontiguousarray(theta[lo:hi], dtype=score_dtype)
-            for lo, hi in (self.partition.range_of(i) for i in range(n_shards))
-        ]
+        self._install_factors(x, theta, n_shards)
         self._folded_items: dict[int, np.ndarray] = {}
+
+    def _install_factors(self, x: np.ndarray, theta: np.ndarray, n_shards: int) -> None:
+        """(Re)build the served state from immutable factor matrices.
+
+        Shared by construction and :meth:`swap_snapshot`: installs the
+        float64 masters, the single-precision scoring copies, the Θ
+        partition and the per-device shards, and the kernel-profile
+        config.
+        """
+        x.setflags(write=False)
+        self.x = x
+        self._x_score = np.ascontiguousarray(x, dtype=self.score_dtype)
+        self._install_theta(theta, n_shards)
         # Profile construction reuses the training kernel models, which
         # are parameterised by an ALSConfig.
         self._profile_config = ALSConfig(f=x.shape[1], lam=self.lam)
+
+    def _install_theta(self, theta: np.ndarray, n_shards: int) -> None:
+        """(Re)build only the Θ side: master, partition and shards.
+
+        :meth:`grow_items` comes through here so appending item rows does
+        not recopy the (unchanged) X scoring matrix or kernel profiles.
+        """
+        theta.setflags(write=False)
+        self.theta = theta
+        self.partition = Partition1D(theta.shape[0], n_shards)
+        self._shards = [
+            np.ascontiguousarray(theta[lo:hi], dtype=self.score_dtype)
+            for lo, hi in (self.partition.range_of(i) for i in range(n_shards))
+        ]
 
     # ------------------------------------------------------------------ #
     # construction / persistence
@@ -189,6 +220,8 @@ class FactorStore:
             kwargs.setdefault("lam", float(restored.extras["lam"]))
         if "weighted" in restored.extras:
             kwargs.setdefault("weighted", bool(restored.extras["weighted"]))
+        if "version" in restored.extras:
+            kwargs.setdefault("version", str(restored.extras["version"]))
         store = cls(restored.x, restored.theta, **kwargs)
         if "n_trained_users" in restored.extras:
             n_trained = int(restored.extras["n_trained_users"])
@@ -234,9 +267,11 @@ class FactorStore:
             self.theta,
             lam=np.float64(self.lam),
             weighted=np.bool_(self.weighted),
+            version=np.str_(self.version),
             n_trained_users=np.int64(self._n_trained_users),
             foldin_indptr=indptr,
             foldin_items=items,
+            protected=np.bool_(True),
         )
         # GC superseded store snapshots (recognisable by their fold-in
         # extras) so repeated saves into one directory keep exactly one
@@ -273,6 +308,9 @@ class FactorStore:
         copies, its own machine/clock and zeroed stats, so replicas
         accumulate simulated time independently.  This is the building
         block :class:`~repro.serving.cluster.ServingCluster` replicates.
+        The interaction log is deliberately *not* carried over: a cluster
+        records each write-through fold-in once at the cluster level, not
+        once per replica.
         """
         if machine is None and n_shards is None:
             n_shards = self.n_shards
@@ -285,12 +323,102 @@ class FactorStore:
             n_shards=n_shards,
             score_dtype=self.score_dtype,
             solver=self.solver,
+            version=self.version,
         )
         clone._restore_fold_state(
             self._n_trained_users,
             {u: seg.copy() for u, seg in self._folded_items.items()},
         )
         return clone
+
+    # ------------------------------------------------------------------ #
+    # lifecycle hooks: snapshot swap and item growth
+    # ------------------------------------------------------------------ #
+    def swap_snapshot(
+        self,
+        x: np.ndarray,
+        theta: np.ndarray,
+        *,
+        lam: float | None = None,
+        weighted: bool | None = None,
+        version: str | None = None,
+        solver: str | None = None,
+    ) -> None:
+        """Replace the served model in place — the zero-downtime rollout hook.
+
+        The store keeps its machine, clock and running stats (it is the
+        same serving process) but swaps in private immutable copies of
+        the new factors, rebuilds the Θ shards over the same device
+        count, and resets fold-in bookkeeping: every row of the new X is
+        a trained user of the new snapshot.  The simulated clock is
+        charged for shipping each device its new Θ shard, which is the
+        load a real replica pays while drained.  ``lam``/``weighted``/
+        ``version``/``solver`` update the serving metadata when given.
+        """
+        x = np.array(x, dtype=np.float64, order="C", copy=True)
+        theta = np.array(theta, dtype=np.float64, order="C", copy=True)
+        if x.ndim != 2 or theta.ndim != 2:
+            raise ValueError("x and theta must be 2-D factor matrices")
+        if x.shape[1] != theta.shape[1]:
+            raise ValueError(
+                f"factor dimensions disagree: x has f={x.shape[1]}, theta f={theta.shape[1]}"
+            )
+        if theta.shape[0] < self.n_shards:
+            raise ValueError(
+                f"new snapshot has {theta.shape[0]} items but the store keeps {self.n_shards} shards"
+            )
+        if lam is not None:
+            if lam < 0:
+                raise ValueError("lam must be non-negative")
+            self.lam = float(lam)
+        if weighted is not None:
+            self.weighted = bool(weighted)
+        if version is not None:
+            self.version = str(version)
+        if solver is not None:
+            self.solver = solver
+        self._install_factors(x, theta, self.n_shards)
+        self._n_trained_users = x.shape[0]
+        self._folded_items = {}
+        before = self.machine.elapsed_seconds()
+        self.machine.run_transfers(
+            [
+                self.machine.h2d(i, self.partition.size_of(i) * self.f * FLOAT_BYTES, tag="swap-shard")
+                for i in range(self.n_shards)
+            ],
+            label="swap-h2d",
+        )
+        self.stats.simulated_seconds += self.machine.elapsed_seconds() - before
+
+    def grow_items(self, new_theta: np.ndarray) -> int:
+        """Append item rows to Θ; returns the id of the first new item.
+
+        The item-side fold-in hook: the refresh step solves θ rows for
+        items that arrived after training and every replica appends them
+        here, so the item axis grows consistently across a cluster.  The
+        partition is recomputed over the same shard count and the new
+        rows are broadcast to every device on the simulated clock.
+        Exclude matrices built for the old item count no longer match and
+        must be regrown by the caller (or omitted).
+        """
+        new_theta = np.asarray(new_theta, dtype=np.float64)
+        if new_theta.ndim != 2 or new_theta.shape[1] != self.f:
+            raise ValueError(f"new item rows must have shape (j, {self.f})")
+        start = self.n_items
+        if new_theta.shape[0] == 0:
+            return start
+        theta = np.ascontiguousarray(np.vstack([self.theta, new_theta]))
+        self._install_theta(theta, self.n_shards)
+        before = self.machine.elapsed_seconds()
+        self.machine.run_transfers(
+            [
+                self.machine.h2d(i, new_theta.shape[0] * self.f * FLOAT_BYTES, tag="grow-items")
+                for i in range(self.n_shards)
+            ],
+            label="grow-h2d",
+        )
+        self.stats.simulated_seconds += self.machine.elapsed_seconds() - before
+        return start
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -538,22 +666,30 @@ class FactorStore:
     def fold_in(self, items: np.ndarray, ratings: np.ndarray) -> int:
         """Absorb a cold-start user; returns their new user index.
 
-        The factor is solved against the frozen Θ with the training
+        The input passes the same :func:`~repro.serving.foldin.validate_ratings`
+        gate as the standalone fold-in solver (integer dtype, range,
+        duplicate-summing semantics), so bad ratings fail identically on
+        both paths and no store state is touched on rejection.  The
+        factor is then solved against the frozen Θ with the training
         kernels (one Base-ALS user update).  The new row is appended to
         both the float64 master and the scoring copy, so the user is
         immediately servable; their fold-in items count as "seen" for
-        exclusion purposes.
+        exclusion purposes, and the ratings are recorded in the attached
+        interaction log (when there is one) for a later refresh.
         """
+        items, ratings = validate_ratings(items, ratings, self.n_items)
         factor = fold_in_user(items, ratings, self.theta, self.lam, weighted=self.weighted)
         user = self.n_users
         self.x = np.vstack([self.x, factor[None, :]])
         self.x.setflags(write=False)
         self._x_score = np.vstack([self._x_score, factor[None, :].astype(self.score_dtype)])
-        self._folded_items[user] = np.unique(np.asarray(items, dtype=np.int64))
+        self._folded_items[user] = np.unique(items)
+        if self.log is not None:
+            self.log.record(user, items, ratings)
 
         # Simulated cost: one Hermitian assembly + one 1-row batched solve
         # on device 0, plus shipping the ratings up and the factor back.
-        nnz = int(np.asarray(items).size)
+        nnz = int(items.size)
         before = self.machine.elapsed_seconds()
         busy_before = self._device_busy()
         self.machine.run_transfers(

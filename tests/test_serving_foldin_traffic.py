@@ -7,7 +7,13 @@ import pytest
 
 from repro.core import ALSConfig, CuMF
 from repro.core.hermitian import update_factor
-from repro.serving import QueryTrace, RequestSimulator, fold_in_user, fold_in_users
+from repro.serving import (
+    QueryTrace,
+    RequestSimulator,
+    fold_in_user,
+    fold_in_users,
+    validate_ratings,
+)
 from repro.sparse.csr import CSRMatrix
 
 
@@ -72,6 +78,60 @@ class TestFoldIn:
         # Their fold-in items count as seen when an exclude matrix is given.
         recs = store.recommend(user, k=store.n_items, exclude=tiny_ratings.train)
         assert not set(items.tolist()) & {i for i, _ in recs}
+
+
+class TestUnifiedValidation:
+    """Bad ratings must fail identically on every ingest path (regression).
+
+    ``FactorStore.fold_in`` and the standalone ``fold_in_user`` share one
+    validation gate (``validate_ratings``): same exception type, same
+    message, and no store state touched on rejection.
+    """
+
+    BAD_INPUTS = [
+        (np.array([0, 1]), np.array([1.0])),  # misaligned
+        (np.array([[0, 1]]), np.array([[1.0, 2.0]])),  # not 1-D
+        (np.array([1.5]), np.array([1.0])),  # fractional dtype
+        (np.array([True]), np.array([1.0])),  # bool is not an index
+        (np.array([-1]), np.array([1.0])),  # negative id
+        (np.array([10**9]), np.array([1.0])),  # out of range
+    ]
+
+    @pytest.mark.parametrize("items,ratings", BAD_INPUTS)
+    def test_both_paths_fail_identically(self, fitted, items, ratings):
+        store = fitted.export_store()
+        theta = fitted.result.theta
+        with pytest.raises(ValueError) as direct:
+            fold_in_user(items, ratings, theta, store.lam)
+        with pytest.raises(ValueError) as via_store:
+            store.fold_in(items, ratings)
+        assert str(direct.value) == str(via_store.value)
+        # rejection left the store untouched
+        assert store.n_users == fitted.result.x.shape[0]
+        assert store.stats.fold_ins == 0 and not store._folded_items
+
+    def test_duplicate_items_sum_on_both_paths(self, fitted):
+        """Duplicates follow the trainer's CSR summing on store fold-ins too."""
+        theta = fitted.result.theta
+        store = fitted.export_store()
+        dup = store.fold_in(np.array([2, 2, 5]), np.array([1.0, 3.0, 2.0]))
+        summed = store.fold_in(np.array([2, 5]), np.array([4.0, 2.0]))
+        np.testing.assert_array_equal(store.x[dup], store.x[summed])
+        np.testing.assert_array_equal(
+            store.x[dup],
+            fold_in_user(np.array([2, 2, 5]), np.array([1.0, 3.0, 2.0]), theta, store.lam),
+        )
+        np.testing.assert_array_equal(store._folded_items[dup], [2, 5])
+
+    def test_validate_ratings_contract(self):
+        items, ratings = validate_ratings([3, 1], [1.0, 2.0], 10)
+        assert items.dtype == np.int64 and ratings.dtype == np.float64
+        with pytest.raises(ValueError, match="out of range"):
+            validate_ratings(np.array([10]), np.array([1.0]), 10)
+        # unbounded mode (interaction log): any non-negative id is fine
+        validate_ratings(np.array([10**9]), np.array([1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_ratings(np.array([-3]), np.array([1.0]))
 
 
 class TestQueryTrace:

@@ -228,6 +228,27 @@ class TestPersistence:
         # the pre-existing training checkpoint was not evicted
         assert CheckpointManager(str(tmp_path)).list_iterations() == [5, 6]
 
+    def test_trainer_pruning_never_evicts_store_snapshot(self, store, tmp_path):
+        """A trainer's ``keep=N`` rotation must skip store snapshots (regression).
+
+        Store snapshots are saved ``protected``; before the fix,
+        ``CheckpointManager._prune`` deleted the oldest files regardless,
+        so a store parked at a low iteration in a shared directory was
+        evicted as soon as the trainer checkpointed a few more times.
+        """
+        store.fold_in(np.array([0, 3]), np.array([4.0, 2.0]))
+        snapshot_path = store.save(str(tmp_path))
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        for iteration in (10, 11, 12, 13):
+            manager.save(iteration, np.zeros((3, 8)), np.zeros((4, 8)))
+        assert os.path.exists(snapshot_path)
+        # the trainer's own rotation still applies to its own files
+        assert manager.list_iterations() == [0, 12, 13]
+        # the surviving snapshot is intact, fold-in bookkeeping included
+        restored = manager.load(0)
+        np.testing.assert_array_equal(restored.x, store.x)
+        assert int(restored.extras["n_trained_users"]) == store._n_trained_users
+
     def test_load_from_training_checkpoint(self, tiny_ratings, tmp_path):
         model = CuMF(
             ALSConfig(f=8, lam=0.05, iterations=2, seed=1, row_batch=128),
