@@ -33,7 +33,9 @@ def main() -> None:
     data = generate_ratings(spec, seed=0, noise_sigma=0.3)
     model = CuMF(ALSConfig(f=16, lam=0.05, iterations=5, seed=1), backend="mo")
     model.fit(data.train, data.test)
-    store = model.export_store(n_shards=2)
+    #    (This drives the store/cluster layers directly; the unified front
+    #    door is model.serve(ServingConfig(...)) -- see examples/service_api.py.)
+    store = FactorStore.from_result(model.result, n_shards=2)
     print(f"trained + exported: {store}")
 
     # 2. One bursty trace, three routing policies on a 4-replica cluster.
@@ -54,8 +56,8 @@ def main() -> None:
     print("\n-- replica scaling, saturating trace --")
     base_qps = None
     for n_replicas in (1, 2, 4):
-        cluster = model.export_cluster(n_replicas=n_replicas, router="least-loaded",
-                                       n_shards=2)
+        cluster = ServingCluster.from_result(model.result, n_replicas,
+                                             router="least-loaded", n_shards=2)
         report = RequestSimulator(cluster, k=10, max_batch=256, window_s=0.0).run(hot)
         base_qps = base_qps or report.throughput_qps
         util = "/".join(f"{u:.0%}" for u in report.per_replica_utilization)

@@ -1,18 +1,20 @@
 #!/usr/bin/env python
-"""Model lifecycle: train -> serve -> refresh -> roll out, no downtime.
+"""Model lifecycle through one facade: train -> serve -> rate -> refresh ->
+roll out -> roll back, with zero downtime.
 
-Trains MO-ALS on a synthetic workload, publishes the snapshot as v0 of a
-:class:`SnapshotRegistry`, and serves it from a 3-replica cluster while
-an :class:`InteractionLog` records everything that arrives through
-serving: cold-start fold-ins (write-through, recorded once), feedback
-from existing users, and first ratings for brand-new items.  A
-:meth:`CuMF.refresh` then folds the log back into the model — only the
-affected user rows are re-solved, new items get θ rows solved against
-the frozen X — and the result is published as v1.  Finally a
-:class:`RolloutController` swaps the cluster v0 -> v1 one drained
-replica at a time, mid-trace, while the traffic simulator keeps queries
-flowing: the report shows both versions answering queries and zero
-drops.
+Everything runs through a :class:`RecommenderService` built by a single
+:meth:`CuMF.serve` call from a declarative :class:`ServingConfig`: a
+3-replica cluster serving registry version v0, with a cluster-level
+interaction log.  Life happens on the data plane — cold-start fold-ins
+(write-through, recorded once) and rated feedback, including first
+ratings for brand-new items.  The admin plane then folds the log back
+into the model (:meth:`refresh` — only the affected user rows are
+re-solved, new items get θ rows solved against the frozen X), publishes
+v1, and rolls it out *under traffic*: one replica at a time is drained,
+swapped and restored while the simulator keeps queries flowing — both
+versions answer queries and nothing is dropped.  Finally the deployment
+is rolled *back*: v0's factors are re-published as the monotonic new
+head (v2) and rolled out the same way, again without dropping a query.
 
 Run:  python examples/lifecycle.py
 """
@@ -29,19 +31,15 @@ import numpy as np
 
 from repro.core import ALSConfig, CuMF
 from repro.datasets import NETFLIX, generate_ratings
-from repro.serving import (
-    InteractionLog,
-    QueryTrace,
-    RequestSimulator,
-    RolloutController,
-    ServingCluster,
-)
+from repro.serving import QueryTrace, ServingConfig
 
 
 def main() -> None:
     rng = np.random.default_rng(42)
 
-    # 1. Train and publish the snapshot as version 0 of a registry.
+    # 1. Train, then stand the whole deployment up in one call: three
+    #    2-shard replicas, least-loaded routing, interaction log, and a
+    #    snapshot registry whose v0 is the freshly fitted model.
     spec = NETFLIX.scaled(max_rows=4000, f=16)
     data = generate_ratings(spec, seed=0, noise_sigma=0.3)
     model = CuMF(ALSConfig(f=16, lam=0.05, iterations=5, seed=1), backend="mo")
@@ -49,61 +47,81 @@ def main() -> None:
     n_users, n_items = data.train.shape
 
     with tempfile.TemporaryDirectory() as directory:
-        registry = model.export_registry(directory, tag="initial-fit")
-        print(f"published v{registry.latest_version()} -> {registry.directory}")
-
-        # 2. Serve v0 from three replicas; the cluster-level log records
-        #    every write-through fold-in exactly once.
-        log = InteractionLog()
-        cluster = ServingCluster(
-            [registry.build_store(0, n_shards=2) for _ in range(3)],
-            router="least-loaded",
-            log=log,
+        service = model.serve(
+            ServingConfig(
+                replicas=3,
+                n_shards=2,
+                router="least-loaded",
+                registry_dir=directory,
+                tag="initial-fit",
+                ratings=data.train,
+            )
         )
-        print(f"serving: {cluster!r}")
+        print(f"serving: {service!r}")
+        print(f"registry: versions {service.registry.versions()}")
 
-        # 3. Life happens while v0 serves: cold-start users fold in ...
+        # 2. Life happens while v0 serves: cold-start users fold in
+        #    (admin plane, write-through to every replica) ...
         for _ in range(5):
             liked = rng.choice(n_items, size=8, replace=False)
-            cluster.fold_in(liked, rng.uniform(3.0, 5.0, size=liked.size))
-        # ... existing users keep rating ...
+            service.fold_in(liked, rng.uniform(3.0, 5.0, size=liked.size))
+        # ... existing users keep rating (data plane -> the log) ...
         for user in rng.choice(n_users, size=40, replace=False):
             items = rng.choice(n_items, size=4, replace=False)
-            log.record(int(user), items, rng.uniform(1.0, 5.0, size=items.size))
+            service.rate(int(user), items, rng.uniform(1.0, 5.0, size=items.size)).raise_for_status()
         # ... and two brand-new items collect their first ratings.
         for new_item in (n_items, n_items + 1):
             for user in rng.choice(n_users, size=15, replace=False):
-                log.record(int(user), np.array([new_item]), rng.uniform(2.0, 5.0, size=1))
-        print(f"interaction log: {log!r}")
+                service.rate(int(user), np.array([new_item]), rng.uniform(2.0, 5.0, size=1))
+        print(f"interaction log: {service.log!r}")
 
-        # 4. Fold the log back into the model and publish v1.  Only the
+        # 3. Fold the log back into the model and publish v1.  Only the
         #    affected rows are re-solved; they match a full retrain pass
         #    over the merged ratings to machine precision.
-        refreshed = model.refresh(data.train, log)
+        refreshed = service.refresh()
         print(refreshed.summary())
-        v1 = registry.publish_result(model.result, tag="refresh-1")
-        print(f"published v{v1}: versions now {registry.versions()}")
+        print(f"published: versions now {service.registry.versions()}")
 
-        # 5. Roll the cluster v0 -> v1 *under traffic*: drain a replica,
-        #    swap its store, restore it — the router skips the drained
-        #    replica, so every query in the trace is answered.
-        controller = RolloutController(cluster, registry)
+        # 4. Roll v0 -> v1 *under traffic*: drain a replica, swap its
+        #    store, restore it — the router skips the drained replica, so
+        #    every query in the trace is answered.
         trace = QueryTrace.poisson(8000, 150_000.0, n_users, seed=7)
-        events = controller.plan_events(
-            v1, start_s=0.25 * trace.duration, step_s=0.2 * trace.duration
+        events = service.plan_rollout(
+            1, start_s=0.25 * trace.duration, step_s=0.2 * trace.duration
         )
-        sim = RequestSimulator(cluster, k=10, max_batch=128, window_s=0.0)
-        report = sim.run(trace, events=events)
+        # No exclusion during the mixed-version window: v0 replicas do not
+        # know the two new items the merged matrix has columns for.
+        report = service.simulate(trace, events, k=10, max_batch=128, window_s=0.0, exclude=None)
         print()
         print(report.summary())
-        print(f"rollout status: {controller.status()}")
+        print(f"units now serve: {service.versions()}")
         assert report.n_dropped == 0
 
-        # 6. The new axes are live everywhere: a fold-in user gets top-k
+        # 5. The new axes are live everywhere: a fold-in user gets top-k
         #    over the grown item catalogue, excluded by the merged matrix.
         newcomer = n_users  # first fold-in, now a trained row of v1
-        recs = cluster.recommend(newcomer, k=5, exclude=refreshed.ratings)
-        print(f"\nfold-in user {newcomer} served from v1: top-5 = {[i for i, _ in recs]}")
+        recs = service.recommend(newcomer, k=5)
+        print(f"\nfold-in user {newcomer} served from {recs.version}: "
+              f"top-5 = {[i for i, _ in recs.payload[0]]}")
+
+        # 6. A second refresh ships v2 (same axes: only existing users
+        #    rated existing items this time) ... and regresses quality,
+        #    say.  Roll *back*: v1's factors are re-published as the
+        #    monotonic new head v3 and rolled out replica by replica —
+        #    the deployment serves v1's model again without ever leaving
+        #    rotation short.
+        for user in rng.choice(n_users, size=10, replace=False):
+            items = rng.choice(n_items, size=3, replace=False)
+            service.rate(int(user), items, rng.uniform(1.0, 5.0, size=items.size))
+        service.refresh()
+        service.rollout()
+        print(f"\nshipped v2: units serve {service.versions()}")
+        rollback = service.rollback(1)  # v1's factors come back as v3
+        v1, v3 = service.registry.load(1), service.registry.load(rollback.version)
+        assert np.array_equal(v1.x, v3.x) and np.array_equal(v1.theta, v3.theta)
+        print(f"rolled back to v1's factors as {rollback.label}: "
+              f"units serve {service.versions()}, registry {service.registry.versions()}")
+        print(f"stats: {service.stats()['requests']}")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core import ALSConfig, CuMF
 from repro.datasets import NETFLIX, generate_ratings
-from repro.serving import QueryTrace, RequestSimulator
+from repro.serving import FactorStore, QueryTrace, RequestSimulator
 
 
 def main() -> None:
@@ -33,8 +33,10 @@ def main() -> None:
     print(f"trained: test RMSE {result.final_test_rmse:.4f} "
           f"in {result.total_seconds:.2f} simulated s")
 
-    # 2. Export the factors into a store sharded over 4 simulated GPUs.
-    store = model.export_store(n_shards=4)
+    # 2. Snapshot the factors into a store sharded over 4 simulated GPUs.
+    #    (This drives the store layer directly; the unified front door is
+    #    model.serve(ServingConfig(...)) -- see examples/service_api.py.)
+    store = FactorStore.from_result(model.result, n_shards=4)
     print(f"exported: {store}")
 
     # 3. Serve a batch of queries.

@@ -1,17 +1,25 @@
-"""High-level cuMF facade: fit / predict / recommend / resume.
+"""High-level cuMF facade: fit / predict / recommend / serve / resume.
 
 :class:`CuMF` is the API a downstream user would adopt.  It hides the
 choice between the three solver levels behind a ``backend`` argument and
 optionally checkpoints every iteration.  Prediction and top-k
 recommendation delegate to a :class:`~repro.serving.store.FactorStore`
 snapshot of the learned factors, so the single-user and the batched
-serving paths share one code path; :meth:`CuMF.export_store` hands the
-same snapshot to the serving tier proper (sharded, simulated-time
-accounted, fold-in capable) and :meth:`CuMF.export_cluster` replicates
-it behind a load-balancing router for cluster-scale QPS.
+serving paths share one code path.
+
+Serving proper goes through one front door: :meth:`CuMF.serve` takes a
+declarative :class:`~repro.serving.service.ServingConfig` (replicas,
+router, shards, interaction log, registry directory) and returns a
+:class:`~repro.serving.service.RecommenderService` — typed data-plane
+envelopes over any backend, plus the admin plane (fold-in, refresh,
+snapshot, rollout, rollback).  The older ``export_store`` /
+``export_cluster`` / ``export_registry`` trio remains as thin deprecated
+shims over the same construction path.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -108,17 +116,85 @@ class CuMF:
             raise RuntimeError("call fit() before predicting or recommending")
         return self.result
 
+    def serve(self, config=None, **overrides):
+        """Stand up a :class:`~repro.serving.service.RecommenderService`.
+
+        ``config`` is a declarative
+        :class:`~repro.serving.service.ServingConfig`; keyword
+        ``overrides`` patch individual fields (or build the whole config
+        when no ``config`` is given), so the five-line path is::
+
+            model.fit(train)
+            service = model.serve(ServingConfig(replicas=3, n_shards=2,
+                                                registry_dir=path, ratings=train))
+            response = service.recommend(user, k=10)
+
+        With a ``registry_dir`` the fitted factors are published as the
+        next registry version and the serving units are stamped with its
+        label, enabling the service's refresh / rollout / rollback
+        plane.  One replica builds a single
+        :class:`~repro.serving.store.FactorStore`; more build a
+        :class:`~repro.serving.cluster.ServingCluster` behind the
+        configured router.  Every deployment the deprecated ``export_*``
+        trio could produce is a field choice here.
+        """
+        from dataclasses import replace
+
+        from repro.serving.cluster import ServingCluster
+        from repro.serving.lifecycle import SnapshotRegistry
+        from repro.serving.service import RecommenderService, ServingConfig
+        from repro.serving.store import FactorStore
+
+        if config is None:
+            config = ServingConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        result = self._require_fit()
+        registry = None
+        version_label = ""
+        if config.registry_dir is not None:
+            registry = SnapshotRegistry(config.registry_dir, keep=config.registry_keep)
+            version = registry.publish_result(result, tag=config.tag)
+            version_label = f"v{version}"
+        log = config.make_log()
+        store_kwargs = dict(
+            n_shards=config.n_shards, score_dtype=config.score_dtype, version=version_label
+        )
+        if config.replicas == 1:
+            backend = FactorStore.from_result(result, log=log, **store_kwargs)
+        else:
+            backend = ServingCluster.from_result(
+                result, config.replicas, router=config.router, log=log, **store_kwargs
+            )
+        return RecommenderService(backend, registry=registry, log=log, ratings=config.ratings)
+
     def export_store(self, machine: MultiGPUMachine | None = None, n_shards: int | None = None, **kwargs):
+        """Deprecated: snapshot the fitted factors into a :class:`FactorStore`.
+
+        Thin shim kept for compatibility — prefer
+        ``CuMF.serve(ServingConfig(...))``, which wraps the same store in
+        a :class:`~repro.serving.service.RecommenderService` (use
+        ``service.backend`` for the raw store).
+        """
+        warnings.warn(
+            "CuMF.export_store is deprecated; use CuMF.serve(ServingConfig(...)) "
+            "and service.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._build_store(machine=machine, n_shards=n_shards, **kwargs)
+
+    def _build_store(self, **kwargs):
         """Snapshot the fitted factors into a servable :class:`FactorStore`.
 
-        The store shards Θ across ``n_shards`` simulated devices (its own
-        machine by default, so serving does not advance the training
-        clock), serves batched top-k queries with simulated-time
-        accounting, and folds in cold-start users against the frozen Θ.
+        The store shards Θ across simulated devices (its own machine by
+        default, so serving does not advance the training clock), serves
+        batched top-k queries with simulated-time accounting, and folds
+        in cold-start users against the frozen Θ.
         """
         from repro.serving.store import FactorStore
 
-        return FactorStore.from_result(self._require_fit(), machine=machine, n_shards=n_shards, **kwargs)
+        return FactorStore.from_result(self._require_fit(), **kwargs)
 
     def refresh(self, train: CSRMatrix, log):
         """Fold serving-time ratings back into the model incrementally.
@@ -157,15 +233,19 @@ class CuMF:
         return refreshed
 
     def export_registry(self, directory: str, tag: str = ""):
-        """Publish the fitted factors as the next version of a registry.
+        """Deprecated: publish the fitted factors to a registry at ``directory``.
 
-        Creates (or reopens) a
-        :class:`~repro.serving.lifecycle.SnapshotRegistry` at
-        ``directory``, publishes the current result there, and returns
-        the registry — the object a
-        :class:`~repro.serving.lifecycle.RolloutController` rolls
-        serving clusters from.
+        Thin shim kept for compatibility — prefer
+        ``CuMF.serve(ServingConfig(registry_dir=directory))``, which
+        publishes the same version and returns a service whose
+        ``registry`` attribute is this registry.
         """
+        warnings.warn(
+            "CuMF.export_registry is deprecated; use "
+            "CuMF.serve(ServingConfig(registry_dir=...)) and service.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.serving.lifecycle import SnapshotRegistry
 
         registry = SnapshotRegistry(directory)
@@ -173,16 +253,20 @@ class CuMF:
         return registry
 
     def export_cluster(self, n_replicas: int = 2, router="least-loaded", **kwargs):
-        """Snapshot the fitted factors into a replicated :class:`ServingCluster`.
+        """Deprecated: snapshot the fitted factors into a :class:`ServingCluster`.
 
-        Each of the ``n_replicas`` replicas is an independent
-        :class:`FactorStore` (own simulated machine and clock) serving the
-        same snapshot; batched top-k calls are routed by ``router``
-        (``"round-robin"``, ``"least-loaded"``, ``"power-of-two"`` or a
-        :class:`~repro.serving.cluster.Router` instance) and fold-ins are
-        written through to every replica.  ``kwargs`` (e.g. ``n_shards``)
-        configure the per-replica stores.
+        Thin shim kept for compatibility — prefer
+        ``CuMF.serve(ServingConfig(replicas=R, router=...))``, which wraps
+        the same cluster in a
+        :class:`~repro.serving.service.RecommenderService` (use
+        ``service.backend`` for the raw cluster).
         """
+        warnings.warn(
+            "CuMF.export_cluster is deprecated; use "
+            "CuMF.serve(ServingConfig(replicas=..., router=...)) and service.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.serving.cluster import ServingCluster
 
         return ServingCluster.from_result(self._require_fit(), n_replicas, router=router, **kwargs)
@@ -190,7 +274,7 @@ class CuMF:
     def _serving_store(self):
         """The cached store backing predict/recommend (built on first use)."""
         if self._store is None:
-            self._store = self.export_store()
+            self._store = self._build_store()
         return self._store
 
     def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:

@@ -24,11 +24,23 @@ package is that missing online half:
   the same id; the simulator drives a cluster with per-replica
   timelines and reports per-replica utilization.
 * :mod:`~repro.serving.lifecycle` — the train → serve → retrain loop:
-  an :class:`InteractionLog` of serving-time ratings, an incremental
-  refresh (affected user rows + new-item fold-in) solved with the
-  training kernels, a versioned :class:`SnapshotRegistry`, and a
-  :class:`RolloutController` that swaps a cluster v1 → v2 one drained
-  replica at a time while traffic keeps flowing.
+  an :class:`InteractionLog` of serving-time ratings (with windowed
+  retention via :meth:`InteractionLog.compact`), an incremental refresh
+  (affected user rows + new-item fold-in) solved with the training
+  kernels, a versioned :class:`SnapshotRegistry` (with monotonic
+  :meth:`~SnapshotRegistry.rollback`), and a :class:`RolloutController`
+  that swaps any backend v1 → v2 one drained unit at a time while
+  traffic keeps flowing.
+* :mod:`~repro.serving.service` — the unified front door: the
+  :class:`ServingBackend` protocol every backend satisfies (store and
+  cluster alike, so the simulator and rollout controller never fork on
+  concrete types), typed data-plane envelopes (:class:`PredictRequest` /
+  :class:`RecommendRequest` / :class:`RateRequest` →
+  :class:`ServeResponse`), the declarative :class:`ServingConfig`, and
+  the :class:`RecommenderService` facade splitting the data plane
+  (predict / recommend / rate) from the admin plane (fold-in, refresh,
+  snapshot, rollout, rollback, drain/restore) — built in one call with
+  :meth:`CuMF.serve`.
 """
 
 from repro.serving.cluster import (
@@ -49,10 +61,28 @@ from repro.serving.lifecycle import (
     merged_ratings,
     refresh_factors,
 )
+from repro.serving.service import (
+    SERVICE_DEFAULT,
+    PredictRequest,
+    RateRequest,
+    RecommendRequest,
+    RecommenderService,
+    ServeResponse,
+    ServingBackend,
+    ServingConfig,
+)
 from repro.serving.simulator import LifecycleEvent, QueryTrace, RequestSimulator, TrafficReport
 from repro.serving.store import FactorStore, ServingStats
 
 __all__ = [
+    "SERVICE_DEFAULT",
+    "PredictRequest",
+    "RateRequest",
+    "RecommendRequest",
+    "RecommenderService",
+    "ServeResponse",
+    "ServingBackend",
+    "ServingConfig",
     "FactorStore",
     "ServingStats",
     "ServingCluster",

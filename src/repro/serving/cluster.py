@@ -301,6 +301,34 @@ class ServingCluster:
         self._active[replica] = True
 
     # ------------------------------------------------------------------ #
+    # ServingBackend protocol: routing surface
+    # ------------------------------------------------------------------ #
+    def serving_units(self) -> list[FactorStore]:
+        """The independently-clocked stores behind this backend."""
+        return list(self.replicas)
+
+    def route_among(self, loads: Sequence[float]) -> int:
+        """One routing decision over the active replicas' load figures.
+
+        ``loads`` is aligned with :meth:`active_indices`; the returned
+        index points into that list (callers map it back to a global
+        replica index).
+        """
+        return select_replica(self.router, loads)
+
+    def routing_label(self) -> str:
+        """The routing policy's name, for traffic reports."""
+        return self.router.name
+
+    def reset_routing(self) -> None:
+        """Return the router to its initial state (for deterministic replays)."""
+        self.router.reset()
+
+    def loads(self) -> list[float]:
+        """Cumulative simulated serving seconds, one entry per replica."""
+        return [rep.stats.simulated_seconds for rep in self.replicas]
+
+    # ------------------------------------------------------------------ #
     # reads: routed to one active replica
     # ------------------------------------------------------------------ #
     def route(self) -> int:
@@ -312,19 +340,31 @@ class ServingCluster:
         index.
         """
         active = self.active_indices()
-        loads = [self.replicas[i].stats.simulated_seconds for i in active]
-        return active[select_replica(self.router, loads)]
+        all_loads = self.loads()
+        return active[self.route_among([all_loads[i] for i in active])]
 
     def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Predicted ratings (replica-independent; first active replica)."""
         return self.replicas[self.active_indices()[0]].predict(users, items)
 
     def recommend(self, user: int, k: int = 10, exclude=None) -> list[tuple[int, float]]:
-        """Top-``k`` for one user, routed to one replica."""
-        return self.replicas[self.route()].recommend(user, k=k, exclude=exclude)
+        """Top-``k`` for one user, routed to one replica.
+
+        ``k`` is validated before the routing decision, so a rejected
+        request does not consume a routing slot; the error is identical
+        to the single-store path's.
+        """
+        return self.recommend_batch(np.array([user]), k=k, exclude=exclude)[0]
 
     def recommend_batch(self, users: np.ndarray, k: int = 10, exclude=None, user_block: int = 512) -> list[list[tuple[int, float]]]:
-        """Top-``k`` for a batch of users, routed to one replica."""
+        """Top-``k`` for a batch of users, routed to one replica.
+
+        ``k`` is validated before the routing decision (same error as
+        the store path); everything else is delegated to the routed
+        replica.
+        """
+        if k <= 0:
+            raise ValueError("k must be >= 1")
         return self.replicas[self.route()].recommend_batch(
             users, k=k, exclude=exclude, user_block=user_block
         )
@@ -369,6 +409,39 @@ class ServingCluster:
             appended = rep.grow_items(new_theta)
             assert appended == start  # item ids are allocated densely per replica
         return start
+
+    def swap_snapshot(
+        self,
+        x: np.ndarray,
+        theta: np.ndarray,
+        *,
+        lam: float | None = None,
+        weighted: bool | None = None,
+        version: str | None = None,
+        solver: str | None = None,
+    ) -> None:
+        """Swap every replica to a new model, one at a time.
+
+        The cluster-level rollout hook of the ``ServingBackend``
+        protocol: each active replica is rotated out (drained) while its
+        store swaps, then restored, so concurrent direct traffic always
+        finds ``R - 1`` replicas serving; an already-draining replica is
+        swapped in place and left out of rotation.  For a scheduled
+        rolling swap against a registry (mid-trace, per-version query
+        accounting) use a
+        :class:`~repro.serving.lifecycle.rollout.RolloutController`.
+        """
+        for i in range(self.n_replicas):
+            rotate = self._active[i] and self.n_active > 1
+            if rotate:
+                self.drain(i)
+            try:
+                self.replicas[i].swap_snapshot(
+                    x, theta, lam=lam, weighted=weighted, version=version, solver=solver
+                )
+            finally:
+                if rotate:
+                    self.restore(i)
 
     # ------------------------------------------------------------------ #
     # bookkeeping

@@ -34,6 +34,11 @@ class InteractionLog:
         self._items: list[np.ndarray] = []
         self._ratings: list[np.ndarray] = []
         self._n_events = 0
+        # Windowed retention (see compact()): the oldest events are
+        # folded into one summed CSR delta so the raw event list stays
+        # bounded while every view keeps seeing the full history.
+        self._compacted: CSRMatrix | None = None
+        self._n_compacted = 0
         # Concatenation of the recorded chunks, rebuilt lazily: every
         # view (affected users, max ids, CSR materialisation) reads the
         # same triplets, so one concatenation serves them all until the
@@ -45,8 +50,13 @@ class InteractionLog:
 
     @property
     def n_events(self) -> int:
-        """Number of recorded (user, item, rating) events."""
+        """Number of retained raw (user, item, rating) events."""
         return self._n_events
+
+    @property
+    def n_compacted(self) -> int:
+        """Raw events absorbed into the compacted delta by :meth:`compact`."""
+        return self._n_compacted
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"InteractionLog({self._n_events} events, {self.affected_users().size} users)"
@@ -84,19 +94,77 @@ class InteractionLog:
         self._items.clear()
         self._ratings.clear()
         self._n_events = 0
+        self._compacted = None
+        self._n_compacted = 0
         self._concatenated = None
+
+    def compact(self, max_events: int) -> int:
+        """Fold the oldest events into a retained CSR delta; returns how many.
+
+        Windowed retention for a long-lived serving log: the newest
+        ``max_events`` raw events are kept as-is and everything older is
+        summed into one compacted CSR delta (duplicate (user, item)
+        pairs merge, exactly as :meth:`to_csr` would merge them).  Every
+        view — :meth:`arrays`, :meth:`affected_users`, :meth:`to_csr`,
+        and therefore an incremental refresh — still sees the full
+        history, so refresh results are unchanged while the raw event
+        list stays bounded.  Only the per-event ordering inside the
+        compacted window is lost, which no consumer depends on
+        (downstream CSR construction sums duplicates regardless).
+        """
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        n_fold = self._n_events - max_events
+        if n_fold <= 0:
+            return 0
+        users, items, ratings = (
+            np.concatenate(self._users),
+            np.concatenate(self._items),
+            np.concatenate(self._ratings),
+        )
+        old_u, old_i, old_r = users[:n_fold], items[:n_fold], ratings[:n_fold]
+        m = int(old_u.max()) + 1
+        n = int(old_i.max()) + 1
+        if self._compacted is not None:
+            m = max(m, self._compacted.shape[0])
+            n = max(n, self._compacted.shape[1])
+            old_u = np.concatenate([self._compacted.row_ids(), old_u])
+            old_i = np.concatenate([self._compacted.indices, old_i])
+            old_r = np.concatenate([self._compacted.data, old_r])
+        self._compacted = CSRMatrix.from_arrays((m, n), old_u, old_i, old_r)
+        self._n_compacted += n_fold
+        self._users = [users[n_fold:]] if max_events else []
+        self._items = [items[n_fold:]] if max_events else []
+        self._ratings = [ratings[n_fold:]] if max_events else []
+        self._n_events = max_events
+        self._concatenated = None
+        return n_fold
 
     # ------------------------------------------------------------------ #
     # views
     # ------------------------------------------------------------------ #
     def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The raw event triplets as aligned, read-only ``(users, items, ratings)``."""
+        """The event triplets as aligned, read-only ``(users, items, ratings)``.
+
+        The full history: the compacted delta's (summed) entries first,
+        then the retained raw events in recording order.
+        """
         if self._concatenated is None:
-            if self._users:
+            users: list[np.ndarray] = []
+            items: list[np.ndarray] = []
+            ratings: list[np.ndarray] = []
+            if self._compacted is not None:
+                users.append(self._compacted.row_ids())
+                items.append(self._compacted.indices)
+                ratings.append(self._compacted.data)
+            users.extend(self._users)
+            items.extend(self._items)
+            ratings.extend(self._ratings)
+            if users:
                 triple = (
-                    np.concatenate(self._users),
-                    np.concatenate(self._items),
-                    np.concatenate(self._ratings),
+                    np.concatenate(users).astype(np.int64, copy=False),
+                    np.concatenate(items).astype(np.int64, copy=False),
+                    np.concatenate(ratings).astype(np.float64, copy=False),
                 )
             else:
                 triple = (

@@ -136,6 +136,32 @@ class SnapshotRegistry:
             store.x, store.theta, lam=store.lam, weighted=store.weighted, tag=tag
         )
 
+    def rollback(self, version: int) -> int:
+        """Re-publish an older version as the new head; returns its number.
+
+        The roll-forward-to-the-past pattern: version numbers stay
+        strictly monotonic (serving history remains auditable and a
+        later roll*back of the rollback* is just another rollback), so
+        reverting v1 → v0 publishes a v2 carrying v0's exact factors and
+        fold-in hyper-parameters, tagged with its provenance.  Roll the
+        new head out with a
+        :class:`~repro.serving.lifecycle.rollout.RolloutController` (or
+        :meth:`RecommenderService.rollback`, which does both).
+        """
+        published = self.versions()
+        if version not in published:
+            raise ValueError(f"no version {version} in {self.directory!r}; published: {published}")
+        if version == published[-1]:
+            raise ValueError(f"version {version} is already the latest; nothing to roll back")
+        snap = self.load(version)
+        return self.publish(
+            snap.x,
+            snap.theta,
+            lam=snap.lam,
+            weighted=snap.weighted,
+            tag=f"rollback-of-{snap.label}",
+        )
+
     def _prune_versions(self) -> None:
         if self.keep is None:
             return

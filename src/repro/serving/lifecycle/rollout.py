@@ -1,14 +1,22 @@
-"""Zero-downtime snapshot rollout across a serving cluster.
+"""Zero-downtime snapshot rollout across any serving backend.
 
 Shipping a refreshed model must not drop traffic.
-:class:`RolloutController` performs the classic rolling swap: one
-replica at a time is drained (the router stops sending it batches),
-its :class:`~repro.serving.store.FactorStore` is swapped to the new
+:class:`RolloutController` performs the classic rolling swap against any
+:class:`~repro.serving.service.protocol.ServingBackend`: one serving
+unit at a time is drained (the routing policy stops sending it batches),
+its :class:`~repro.serving.store.FactorStore` is swapped to the target
 :class:`~repro.serving.lifecycle.registry.SnapshotRegistry` version, and
-it returns to rotation — so at every instant at least ``R - 1`` replicas
-serve, and a mid-rollout cluster intentionally runs mixed v1/v2 for a
-while (top-k answers may differ per replica until the swap completes,
-the standard rollout trade-off).
+it returns to rotation — so at every instant at least ``R - 1`` units
+serve, and a mid-rollout backend intentionally runs mixed v1/v2 for a
+while (top-k answers may differ per unit until the swap completes, the
+standard rollout trade-off).  A single-store backend is the degenerate
+one-unit case: its lone unit is swapped directly, since there is nobody
+to rotate behind.
+
+Rollbacks are the same choreography run at an older version:
+:meth:`SnapshotRegistry.rollback` re-publishes the old factors as the
+new head (version numbers stay monotonic) and the controller rolls the
+backend to it — see :meth:`RecommenderService.rollback`.
 
 Two driving modes:
 
@@ -17,76 +25,93 @@ Two driving modes:
   :class:`~repro.serving.simulator.LifecycleEvent` s for
   :meth:`RequestSimulator.run`, which executes the drain/swap/restore
   choreography *mid-trace* on the simulated timeline while queries keep
-  flowing around the drained replica.
+  flowing around the drained unit.
 """
 
 from __future__ import annotations
 
 from functools import partial
+from typing import TYPE_CHECKING
 
-from repro.serving.cluster import ServingCluster
 from repro.serving.lifecycle.registry import Snapshot, SnapshotRegistry
 from repro.serving.simulator import LifecycleEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.serving.service.protocol import ServingBackend
 
 __all__ = ["RolloutController"]
 
 
 class RolloutController:
-    """Rolls a :class:`ServingCluster` from its current snapshot to a registry version."""
+    """Rolls a serving backend from its current snapshot to a registry version."""
 
-    def __init__(self, cluster: ServingCluster, registry: SnapshotRegistry):
-        self.cluster = cluster
+    def __init__(self, backend: "ServingBackend", registry: SnapshotRegistry):
+        self.backend = backend
         self.registry = registry
+
+    @property
+    def cluster(self) -> "ServingBackend":
+        """Deprecated alias for :attr:`backend` (pre-protocol name)."""
+        return self.backend
 
     # ------------------------------------------------------------------ #
     def _checked_snapshot(self, version: int | None) -> Snapshot:
         """Load and sanity-check the target version against live traffic.
 
         A snapshot that serves fewer users or items than the live model
-        would turn in-flight queries into errors mid-rollout, so rollouts
-        only move forward (axes grow or stay).
+        would turn in-flight queries into errors mid-rollout, so axes
+        may only grow or stay — for rollouts *and* rollbacks alike.
         """
         snap = self.registry.load(version)
-        live = self.cluster.replicas[0]
-        if snap.x.shape[0] < live.n_users:
+        if snap.x.shape[0] < self.backend.n_users:
             raise ValueError(
                 f"snapshot v{snap.version} serves {snap.x.shape[0]} users "
-                f"but the cluster serves {live.n_users}"
+                f"but the backend serves {self.backend.n_users}"
             )
-        if snap.theta.shape[0] < live.n_items:
+        if snap.theta.shape[0] < self.backend.n_items:
             raise ValueError(
                 f"snapshot v{snap.version} serves {snap.theta.shape[0]} items "
-                f"but the cluster serves {live.n_items}"
+                f"but the backend serves {self.backend.n_items}"
             )
         return snap
 
-    def _swap(self, replica: int, snap: Snapshot) -> None:
-        self.cluster.replicas[replica].swap_snapshot(
+    def validate_target(self, version: int | None = None) -> Snapshot:
+        """Public pre-flight: the snapshot ``version`` if it is deployable.
+
+        Lets callers check a candidate *before* side effects of their own
+        (e.g. :meth:`RecommenderService.rollback` validates the old
+        version before re-publishing it as the new head).
+        """
+        return self._checked_snapshot(version)
+
+    def _swap(self, unit: int, snap: Snapshot) -> None:
+        self.backend.serving_units()[unit].swap_snapshot(
             snap.x, snap.theta, lam=snap.lam, weighted=snap.weighted, version=snap.label
         )
 
-    def _swap_and_restore(self, replica: int, snap: Snapshot) -> None:
-        self._swap(replica, snap)
-        self.cluster.restore(replica)
+    def _swap_and_restore(self, unit: int, snap: Snapshot) -> None:
+        self._swap(unit, snap)
+        self.backend.restore(unit)
 
     # ------------------------------------------------------------------ #
     def rollout(self, version: int | None = None) -> Snapshot:
-        """Swap every replica to ``version`` right now, one at a time.
+        """Swap every serving unit to ``version`` right now, one at a time.
 
-        Each replica is drained, swapped and restored before the next
-        one starts, so a cluster serving direct (non-simulator) traffic
-        concurrently never sees fewer than ``R - 1`` active replicas.
+        Each unit is drained, swapped and restored before the next one
+        starts, so a backend serving direct (non-simulator) traffic
+        concurrently never sees fewer than ``R - 1`` active units.
         Returns the snapshot that was rolled out.
         """
         snap = self._checked_snapshot(version)
-        if self.cluster.n_replicas == 1:
-            # Nothing to rotate behind: swap the lone replica directly
-            # (drain would refuse to take the last active replica out).
+        n_units = len(self.backend.serving_units())
+        if n_units == 1:
+            # Nothing to rotate behind: swap the lone unit directly
+            # (drain would refuse to take the last active unit out).
             self._swap(0, snap)
             return snap
-        for replica in range(self.cluster.n_replicas):
-            self.cluster.drain(replica)
-            self._swap_and_restore(replica, snap)
+        for unit in range(n_units):
+            self.backend.drain(unit)
+            self._swap_and_restore(unit, snap)
         return snap
 
     def plan_events(
@@ -97,17 +122,18 @@ class RolloutController:
         step_s: float,
         swap_s: float | None = None,
     ) -> list[LifecycleEvent]:
-        """The rolling swap as simulator events, one replica per step.
+        """The rolling swap as simulator events, one unit per step.
 
-        Replica ``i`` is drained at ``start_s + i * step_s`` and comes
+        Unit ``i`` is drained at ``start_s + i * step_s`` and comes
         back — swapped to the new version — ``swap_s`` (simulated)
         seconds later, modelling the time a real replica spends loading
         the new factors.  ``swap_s`` defaults to half a step and must not
-        exceed ``step_s``, so at most one replica is out at a time.
-        Needs at least two replicas (someone must serve while one
-        drains); use :meth:`rollout` for a single-replica cluster.
+        exceed ``step_s``, so at most one unit is out at a time.  Needs
+        at least two units (someone must serve while one drains); use
+        :meth:`rollout` for a single-store backend.
         """
-        if self.cluster.n_replicas < 2:
+        n_units = len(self.backend.serving_units())
+        if n_units < 2:
             raise ValueError(
                 "a rolling swap under traffic needs at least 2 replicas; "
                 "use rollout() for a single-replica cluster"
@@ -122,29 +148,29 @@ class RolloutController:
             raise ValueError("need 0 < swap_s <= step_s (one replica out at a time)")
         snap = self._checked_snapshot(version)
         events: list[LifecycleEvent] = []
-        for replica in range(self.cluster.n_replicas):
-            drain_at = start_s + replica * step_s
+        for unit in range(n_units):
+            drain_at = start_s + unit * step_s
             events.append(
                 LifecycleEvent(
                     time=drain_at,
-                    action=partial(self.cluster.drain, replica),
-                    label=f"drain r{replica}",
+                    action=partial(self.backend.drain, unit),
+                    label=f"drain r{unit}",
                 )
             )
             events.append(
                 LifecycleEvent(
                     time=drain_at + swap_s,
-                    action=partial(self._swap_and_restore, replica, snap),
-                    label=f"swap r{replica} -> {snap.label}",
+                    action=partial(self._swap_and_restore, unit, snap),
+                    label=f"swap r{unit} -> {snap.label}",
                 )
             )
         return events
 
     # ------------------------------------------------------------------ #
     def status(self) -> dict:
-        """Per-replica version/rotation view (for prints and asserts)."""
+        """Per-unit version/rotation view (for prints and asserts)."""
         return {
-            "versions": [rep.version for rep in self.cluster.replicas],
-            "active": self.cluster.active_indices(),
+            "versions": [unit.version for unit in self.backend.serving_units()],
+            "active": self.backend.active_indices(),
             "registry": self.registry.versions(),
         }

@@ -1,0 +1,37 @@
+"""Unified serving API: protocol, typed envelopes, config, and facade.
+
+* :class:`~repro.serving.service.protocol.ServingBackend` — the protocol
+  every serving backend satisfies (store, cluster, and whatever comes
+  next), so drivers never fork on concrete types;
+* :mod:`~repro.serving.service.envelopes` — typed data-plane requests
+  (:class:`PredictRequest` / :class:`RecommendRequest` /
+  :class:`RateRequest`) and the one auditable response shape,
+  :class:`ServeResponse`;
+* :class:`~repro.serving.service.config.ServingConfig` — the declarative
+  deployment description :meth:`CuMF.serve` consumes;
+* :class:`~repro.serving.service.facade.RecommenderService` — the facade
+  splitting a data plane (predict / recommend / rate) from an admin
+  plane (fold-in, refresh, snapshot, rollout, rollback, drain/restore).
+"""
+
+from repro.serving.service.config import ServingConfig
+from repro.serving.service.envelopes import (
+    SERVICE_DEFAULT,
+    PredictRequest,
+    RateRequest,
+    RecommendRequest,
+    ServeResponse,
+)
+from repro.serving.service.facade import RecommenderService
+from repro.serving.service.protocol import ServingBackend
+
+__all__ = [
+    "SERVICE_DEFAULT",
+    "PredictRequest",
+    "RateRequest",
+    "RecommendRequest",
+    "RecommenderService",
+    "ServeResponse",
+    "ServingBackend",
+    "ServingConfig",
+]

@@ -1,0 +1,100 @@
+"""Declarative serving topology: one dataclass instead of three export methods.
+
+:class:`ServingConfig` describes *what to stand up* — how many replicas,
+which routing policy, how many Θ shards per replica, whether serving-time
+ratings are logged, and where versioned snapshots live — and
+:meth:`~repro.core.trainer.CuMF.serve` turns it into a running
+:class:`~repro.serving.service.facade.RecommenderService`.  Every
+scenario that used to need its own ``export_*`` method (single store,
+replicated cluster, registry-backed rollout) is now a field choice, and
+future ones (heterogeneous replicas, scheduled refresh) are meant to be
+new fields, not new constructors.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.cluster import Router, make_router
+from repro.serving.lifecycle.log import InteractionLog
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass
+class ServingConfig:
+    """Everything :meth:`CuMF.serve` needs to build a serving deployment.
+
+    Parameters
+    ----------
+    replicas:
+        Number of serving units.  ``1`` stands up a single
+        :class:`~repro.serving.store.FactorStore`; more builds a
+        :class:`~repro.serving.cluster.ServingCluster` of independent
+        replicas behind ``router``.
+    router:
+        Routing policy for a replicated deployment — a policy name
+        (``"round-robin"`` / ``"least-loaded"`` / ``"power-of-two"``) or
+        a :class:`~repro.serving.cluster.Router` instance.  Ignored when
+        ``replicas == 1``.
+    n_shards:
+        Θ shards (simulated devices) per serving unit; ``None`` keeps
+        the store default of one.
+    score_dtype:
+        Precision of the top-k scoring copies (float32, like the cuMF
+        kernels).
+    log:
+        ``True`` (default) attaches a fresh
+        :class:`~repro.serving.lifecycle.InteractionLog` so fold-ins and
+        rated feedback are recorded for the next refresh; ``False``
+        serves without one; an existing log instance is attached as-is.
+    registry_dir:
+        When set, the fitted factors are published as the next version
+        of a :class:`~repro.serving.lifecycle.SnapshotRegistry` there,
+        the serving units are stamped with that version label, and the
+        service's refresh / rollout / rollback plane is enabled.
+    registry_keep:
+        Version retention for the registry (``None`` keeps everything).
+    tag:
+        Tag for the published version (defaults to the solver name).
+    ratings:
+        The ratings matrix the model was trained on.  Used as the
+        default seen-item exclusion for recommendations and as the base
+        matrix of the first :meth:`RecommenderService.refresh`.
+    """
+
+    replicas: int = 1
+    router: Router | str = "least-loaded"
+    n_shards: int | None = None
+    score_dtype: type = np.float32
+    log: InteractionLog | bool = True
+    registry_dir: str | os.PathLike | None = None
+    registry_keep: int | None = None
+    tag: str = ""
+    ratings: CSRMatrix | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.registry_keep is not None and self.registry_keep < 1:
+            raise ValueError("registry_keep must be at least 1")
+        if self.registry_keep is not None and self.registry_dir is None:
+            raise ValueError("registry_keep needs a registry_dir")
+        # Fail on an unknown policy name at *config* time, not at serve
+        # time; a Router instance passes through untouched.
+        if not isinstance(self.router, Router):
+            make_router(self.router)
+
+    def make_log(self) -> InteractionLog | None:
+        """The interaction log this config asks for (``None`` when off)."""
+        if self.log is True:
+            return InteractionLog()
+        if self.log is False or self.log is None:
+            return None
+        return self.log

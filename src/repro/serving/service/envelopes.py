@@ -1,0 +1,120 @@
+"""Typed request/response envelopes for the service data plane.
+
+Every data-plane call on a :class:`~repro.serving.service.facade.RecommenderService`
+— predict, recommend, rate — takes one of the request dataclasses below
+(or plain arguments that are coerced into one) and returns a single
+auditable shape, :class:`ServeResponse`: status, payload, simulated
+latency, the model version that answered and the unit that served it.
+Bare arrays/lists stop leaking out of the serving tier; a caller that
+wants the raw payload either reads ``response.payload`` after checking
+``response.ok`` or calls :meth:`ServeResponse.raise_for_status` to turn
+an error envelope back into the exception the backend raised.
+
+Backend errors are *captured*, not propagated: a bad user id or a
+``k < 1`` still fails with the exact same message on every backend (the
+protocol suite pins that), but the service wraps it as
+``status="error"`` so one request cannot take down a serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SERVICE_DEFAULT",
+    "PredictRequest",
+    "RecommendRequest",
+    "RateRequest",
+    "ServeResponse",
+]
+
+#: Sentinel for "use the service's configured default" (e.g. the exclude
+#: matrix the service was built with) as opposed to an explicit ``None``
+#: ("no exclusion for this request").
+SERVICE_DEFAULT: Any = "service-default"
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """Score aligned (user, item) pairs."""
+
+    users: np.ndarray
+    items: np.ndarray
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """Top-``k`` recommendations for one user or a batch of users.
+
+    ``users`` may be a scalar id or a 1-D array; the response payload is
+    always one ``[(item, score), ...]`` list per requested user.
+    ``exclude`` defaults to the service's configured seen-item matrix;
+    pass ``None`` explicitly to disable exclusion for this request.
+    """
+
+    users: Any
+    k: int = 10
+    user_block: int = 512
+    exclude: Any = SERVICE_DEFAULT
+
+
+@dataclass(frozen=True)
+class RateRequest:
+    """Feedback from a *known* user: ratings to park in the interaction log.
+
+    Item ids may exceed the served item count (that is how brand-new
+    items enter the system); the user id must be servable — cold-start
+    users go through the admin plane's ``fold_in`` instead.
+    """
+
+    user: int
+    items: np.ndarray
+    ratings: np.ndarray
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The one shape every data-plane call returns.
+
+    ``kind`` names the request type (``"predict"`` / ``"recommend"`` /
+    ``"rate"``), ``payload`` carries its result (predictions array,
+    per-user recommendation lists, or the number of events logged) and
+    is ``None`` on error.  ``latency_s`` is the simulated serving time
+    the request consumed, ``version`` the model version that answered,
+    and ``replica`` the serving unit that took the call (``-1`` when no
+    unit was involved, e.g. a logged rating or a rejected request).
+    """
+
+    kind: str
+    status: str
+    payload: Any = None
+    latency_s: float = 0.0
+    version: str = ""
+    replica: int = -1
+    error: str = ""
+    error_type: str = field(default="", repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served (``status == "ok"``)."""
+        return self.status == "ok"
+
+    def raise_for_status(self) -> "ServeResponse":
+        """Re-raise an error envelope as the exception the backend raised.
+
+        Returns ``self`` on success, so data-plane calls chain:
+        ``service.recommend(...).raise_for_status().payload``.
+        """
+        if self.ok:
+            return self
+        exc_type = _ERROR_TYPES.get(self.error_type, RuntimeError)
+        raise exc_type(self.error)
+
+
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+}

@@ -1,0 +1,431 @@
+"""The serving front door: one facade over any :class:`ServingBackend`.
+
+:class:`RecommenderService` splits serving into the two planes a
+production recommender actually has:
+
+* a **data plane** — :meth:`predict`, :meth:`recommend`, :meth:`rate` —
+  where every call takes a typed request, is routed through the
+  backend's policy, and returns a
+  :class:`~repro.serving.service.envelopes.ServeResponse` (status,
+  payload, simulated latency, served version, serving unit) instead of
+  a bare array; backend errors become error envelopes, so one bad
+  request cannot take down a serving loop;
+* an **admin plane** — :meth:`fold_in`, :meth:`refresh`,
+  :meth:`snapshot`, :meth:`rollout`, :meth:`rollback`, :meth:`drain` /
+  :meth:`restore` — the operator verbs that mutate the deployment, which
+  raise on misuse like any other operator tool.
+
+The facade never asks what kind of backend it drives: a single
+:class:`~repro.serving.store.FactorStore` and an R-replica
+:class:`~repro.serving.cluster.ServingCluster` behave identically
+through the :class:`~repro.serving.service.protocol.ServingBackend`
+protocol.  Build one declaratively with
+:meth:`CuMF.serve(ServingConfig(...)) <repro.core.trainer.CuMF.serve>`.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.serving.lifecycle.refresh import RefreshResult, refresh_factors
+from repro.serving.lifecycle.registry import Snapshot, SnapshotRegistry
+from repro.serving.lifecycle.rollout import RolloutController
+from repro.serving.service.envelopes import (
+    SERVICE_DEFAULT,
+    PredictRequest,
+    RateRequest,
+    RecommendRequest,
+    ServeResponse,
+)
+from repro.sparse.csr import CSRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.serving.lifecycle.log import InteractionLog
+    from repro.serving.service.protocol import ServingBackend
+    from repro.serving.simulator import LifecycleEvent, QueryTrace, TrafficReport
+
+__all__ = ["RecommenderService"]
+
+
+class RecommenderService:
+    """Data-plane envelopes and admin-plane lifecycle over one backend.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.serving.service.protocol.ServingBackend` —
+        a :class:`~repro.serving.store.FactorStore`, a
+        :class:`~repro.serving.cluster.ServingCluster`, or something
+        new that satisfies the protocol.
+    registry:
+        Optional :class:`~repro.serving.lifecycle.SnapshotRegistry`;
+        required for the versioned admin verbs (refresh-to-version,
+        rollout, rollback, snapshot).
+    log:
+        Optional :class:`~repro.serving.lifecycle.InteractionLog` that
+        :meth:`rate` and the backend's fold-ins record into.  Defaults
+        to the backend's attached log; when given and the backend has
+        none, it is wired onto the backend.
+    ratings:
+        The ratings matrix the served model was trained on — the default
+        seen-item exclusion for :meth:`recommend` and the base matrix of
+        the first :meth:`refresh`.  Each refresh replaces it with the
+        merged matrix once the refreshed model is actually deployed
+        (immediately without a registry, at :meth:`rollout` time with
+        one), so the exclusion always matches the served item axis.
+    """
+
+    def __init__(
+        self,
+        backend: "ServingBackend",
+        *,
+        registry: SnapshotRegistry | None = None,
+        log: "InteractionLog | None" = None,
+        ratings: CSRMatrix | None = None,
+    ):
+        self.backend = backend
+        self.registry = registry
+        if log is None:
+            log = getattr(backend, "log", None)
+        elif getattr(backend, "log", None) is None:
+            backend.log = log  # wire fold-in recording through the backend
+        self.log = log
+        self.ratings = ratings
+        # A refresh published to the registry but not yet rolled out:
+        # (version, merged ratings).  The merged matrix matches the *new*
+        # model's axes, so it only becomes the live exclusion once the
+        # backend actually serves that version (see _adopt_if_pending).
+        self._pending: tuple[int, CSRMatrix] | None = None
+        self._counters = {"predict": 0, "recommend": 0, "rate": 0}
+        self._n_errors = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecommenderService({self.backend!r}, "
+            f"registry={'yes' if self.registry is not None else 'no'}, "
+            f"log={'yes' if self.log is not None else 'no'})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_users(self) -> int:
+        """Users servable right now (fold-ins included)."""
+        return self.backend.n_users
+
+    @property
+    def n_items(self) -> int:
+        """Items servable right now."""
+        return self.backend.n_items
+
+    def versions(self) -> list[str]:
+        """Model version served by each unit (mixed mid-rollout)."""
+        return [unit.version for unit in self.backend.serving_units()]
+
+    def stats(self) -> dict:
+        """Service counters merged over the backend's own stats."""
+        stats = dict(self.backend.stats_dict())
+        stats["requests"] = dict(self._counters)
+        stats["request_errors"] = self._n_errors
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # data plane: typed envelopes in, ServeResponse out
+    # ------------------------------------------------------------------ #
+    def _error(self, kind: str, exc: Exception, replica: int = -1) -> ServeResponse:
+        self._n_errors += 1
+        return ServeResponse(
+            kind=kind,
+            status="error",
+            replica=replica,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+    def predict(self, users: Any, items: np.ndarray | None = None) -> ServeResponse:
+        """Score (user, item) pairs; replica-independent, so no routing.
+
+        Accepts a :class:`PredictRequest` or plain aligned index arrays.
+        """
+        request = users if isinstance(users, PredictRequest) else PredictRequest(users, items)
+        replica = self.backend.active_indices()[0]
+        unit = self.backend.serving_units()[replica]
+        before = unit.stats.simulated_seconds
+        try:
+            payload = unit.predict(request.users, request.items)
+        except (ValueError, RuntimeError) as exc:
+            return self._error("predict", exc)
+        self._counters["predict"] += 1
+        return ServeResponse(
+            kind="predict",
+            status="ok",
+            payload=payload,
+            latency_s=unit.stats.simulated_seconds - before,
+            version=unit.version,
+            replica=replica,
+        )
+
+    def recommend(
+        self,
+        users: Any,
+        k: int = 10,
+        *,
+        user_block: int = 512,
+        exclude: Any = SERVICE_DEFAULT,
+    ) -> ServeResponse:
+        """Top-``k`` for one user or a batch, routed through the backend.
+
+        Accepts a :class:`RecommendRequest` or plain arguments; the
+        payload is always one ``[(item, score), ...]`` list per user.
+        ``exclude`` defaults to the service's ratings matrix; pass
+        ``None`` to disable exclusion for this request.
+        """
+        if isinstance(users, RecommendRequest):
+            request = users
+        else:
+            request = RecommendRequest(users, k=k, user_block=user_block, exclude=exclude)
+        mask = self.ratings if request.exclude is SERVICE_DEFAULT else request.exclude
+        # Same invariant as the cluster path: a request rejected for a bad
+        # k never consumes a routing slot (identical message included).
+        if request.k <= 0:
+            return self._error("recommend", ValueError("k must be >= 1"))
+        replica = self.backend.route()
+        unit = self.backend.serving_units()[replica]
+        before = unit.stats.simulated_seconds
+        try:
+            batch = np.atleast_1d(np.asarray(request.users))
+            payload = unit.recommend_batch(
+                batch, k=request.k, exclude=mask, user_block=request.user_block
+            )
+        except (ValueError, RuntimeError) as exc:
+            return self._error("recommend", exc, replica=replica)
+        self._counters["recommend"] += 1
+        return ServeResponse(
+            kind="recommend",
+            status="ok",
+            payload=payload,
+            latency_s=unit.stats.simulated_seconds - before,
+            version=unit.version,
+            replica=replica,
+        )
+
+    def rate(
+        self,
+        user: Any,
+        items: np.ndarray | None = None,
+        ratings: np.ndarray | None = None,
+    ) -> ServeResponse:
+        """Log feedback from a known user for the next refresh.
+
+        Accepts a :class:`RateRequest` or plain arguments.  The payload
+        is the number of events recorded.  Item ids may exceed the
+        served catalogue (first ratings of brand-new items); the user id
+        must be servable — cold-start users enter through the admin
+        plane's :meth:`fold_in`.
+        """
+        request = user if isinstance(user, RateRequest) else RateRequest(user, items, ratings)
+        try:
+            if self.log is None:
+                raise RuntimeError("service has no interaction log; serve with ServingConfig(log=True)")
+            user_arr = np.asarray(request.user)
+            if user_arr.ndim == 0 and np.issubdtype(user_arr.dtype, np.integer):
+                if not 0 <= int(user_arr) < self.backend.n_users:
+                    raise ValueError(
+                        f"user index out of range: service serves users [0, {self.backend.n_users}); "
+                        f"cold-start users go through fold_in"
+                    )
+            n_events = self.log.record(request.user, request.items, request.ratings)
+        except (ValueError, RuntimeError) as exc:
+            return self._error("rate", exc)
+        self._counters["rate"] += 1
+        version = self.backend.serving_units()[0].version
+        return ServeResponse(kind="rate", status="ok", payload=n_events, version=version)
+
+    # ------------------------------------------------------------------ #
+    # admin plane: operator verbs, which raise on misuse
+    # ------------------------------------------------------------------ #
+    def fold_in(self, items: np.ndarray, ratings: np.ndarray) -> int:
+        """Absorb a cold-start user on every serving unit; returns their id.
+
+        Write-through on a replicated backend; the ratings are recorded
+        in the interaction log (when attached) for the next refresh.
+        """
+        return self.backend.fold_in(items, ratings)
+
+    def grow_items(self, new_theta: np.ndarray) -> int:
+        """Append item rows on every serving unit; returns the first new id."""
+        return self.backend.grow_items(new_theta)
+
+    def refresh(self, base: CSRMatrix | None = None, tag: str = "refresh") -> RefreshResult:
+        """Fold the interaction log back into the model incrementally.
+
+        Re-solves only the affected user rows (fold-ins included)
+        against the frozen Θ — extended with θ rows folded in for
+        brand-new items — exactly like
+        :func:`~repro.serving.lifecycle.refresh.refresh_factors`.  With
+        a registry attached, the refreshed factors are published as the
+        next version (roll them out with :meth:`rollout`); without one,
+        they are swapped into the backend immediately.  The consumed log
+        is cleared only once the publish/swap succeeded, and the
+        service's ratings matrix is replaced by the merged one as soon
+        as the backend serves the refreshed axes — immediately on the
+        swap path, at deployment on the registry path (the merged matrix
+        has one column per *new* item, which the live model does not
+        serve until rolled out).
+        """
+        if base is None:
+            base = self.ratings
+        if base is None:
+            raise ValueError("refresh needs the base ratings matrix (ServingConfig.ratings or base=...)")
+        if self.log is None:
+            raise RuntimeError("refresh needs an interaction log; serve with ServingConfig(log=True)")
+        unit = self.backend.serving_units()[0]
+        refreshed = refresh_factors(unit.x, unit.theta, base, self.log, unit.lam, weighted=unit.weighted)
+        if self.registry is not None:
+            version = self.registry.publish(
+                refreshed.x,
+                refreshed.theta,
+                lam=unit.lam,
+                weighted=unit.weighted,
+                tag=tag,
+            )
+            self._pending = (version, refreshed.ratings)
+        else:
+            self.backend.swap_snapshot(refreshed.x, refreshed.theta)
+            self.ratings = refreshed.ratings
+        self.log.clear()
+        return refreshed
+
+    def _adopt_if_pending(self, version: int) -> None:
+        """Make a deployed refresh's merged matrix the live exclusion."""
+        if self._pending is not None and self._pending[0] == version:
+            self.ratings = self._pending[1]
+            self._pending = None
+
+    def snapshot(self, tag: str = "") -> int:
+        """Publish the live factors as a new registry version; returns it."""
+        registry = self._require_registry()
+        return registry.publish_store(self.backend.serving_units()[0], tag=tag)
+
+    def rollout(self, version: int | None = None) -> Snapshot:
+        """Roll every serving unit to ``version`` (default: latest) now.
+
+        Deploying a pending refresh also promotes its merged matrix to
+        the live exclusion (the backend serves the new axes now).
+        """
+        snap = self._controller().rollout(version)
+        self._adopt_if_pending(snap.version)
+        return snap
+
+    def plan_rollout(
+        self,
+        version: int | None = None,
+        *,
+        start_s: float,
+        step_s: float,
+        swap_s: float | None = None,
+    ) -> "list[LifecycleEvent]":
+        """The rolling swap as simulator events (one unit per step).
+
+        When the target is a pending refresh, a final event promotes its
+        merged matrix to the live exclusion once the last unit swapped.
+        """
+        controller = self._controller()
+        events = controller.plan_events(version, start_s=start_s, step_s=step_s, swap_s=swap_s)
+        target = controller.validate_target(version)
+        if self._pending is not None and self._pending[0] == target.version:
+            from repro.serving.simulator import LifecycleEvent
+
+            events.append(
+                LifecycleEvent(
+                    time=events[-1].time,
+                    action=partial(self._adopt_if_pending, target.version),
+                    label=f"adopt ratings for {target.label}",
+                )
+            )
+        return events
+
+    def rollback(self, version: int) -> Snapshot:
+        """Rolling swap *back* to an older registry version, zero downtime.
+
+        The old version's factors are re-published as the new head
+        (:meth:`SnapshotRegistry.rollback` — version numbers stay
+        monotonic) and rolled out one drained unit at a time, exactly
+        like a forward rollout.  A target that serves fewer users or
+        items than the live model is refused, as any rollout is — and it
+        is refused *before* anything is published, so a rejected
+        rollback leaves the registry head untouched.
+        """
+        registry = self._require_registry()
+        self._controller().validate_target(version)
+        return self.rollout(registry.rollback(version))
+
+    def plan_rollback(
+        self,
+        version: int,
+        *,
+        start_s: float,
+        step_s: float,
+        swap_s: float | None = None,
+    ) -> "list[LifecycleEvent]":
+        """A :meth:`rollback` as mid-trace simulator events.
+
+        The whole plan is dry-run against the old version first —
+        target axes, unit count and schedule — so a plan that would be
+        refused never publishes a new registry head (planning has no
+        side effects; only the returned events mutate anything).
+        """
+        registry = self._require_registry()
+        controller = self._controller()
+        controller.plan_events(version, start_s=start_s, step_s=step_s, swap_s=swap_s)
+        return self.plan_rollout(
+            registry.rollback(version), start_s=start_s, step_s=step_s, swap_s=swap_s
+        )
+
+    def drain(self, unit: int) -> None:
+        """Take one serving unit out of rotation."""
+        self.backend.drain(unit)
+
+    def restore(self, unit: int) -> None:
+        """Return a drained serving unit to rotation."""
+        self.backend.restore(unit)
+
+    def simulate(
+        self,
+        trace: "QueryTrace",
+        events: "list[LifecycleEvent] | tuple" = (),
+        *,
+        k: int = 10,
+        max_batch: int = 256,
+        window_s: float = 0.02,
+        exclude: Any = SERVICE_DEFAULT,
+    ) -> "TrafficReport":
+        """Replay a query trace through the backend.
+
+        ``exclude`` defaults to the service's ratings matrix; pass
+        ``None`` to replay without exclusion — necessary when the trace
+        carries a rollout whose *target* grew the item axis, since the
+        merged matrix only matches the new model's item count.
+        """
+        from repro.serving.simulator import RequestSimulator
+
+        mask = self.ratings if exclude is SERVICE_DEFAULT else exclude
+        sim = RequestSimulator(
+            self.backend, k=k, exclude=mask, max_batch=max_batch, window_s=window_s
+        )
+        return sim.run(trace, events=events)
+
+    # ------------------------------------------------------------------ #
+    def _require_registry(self) -> SnapshotRegistry:
+        if self.registry is None:
+            raise RuntimeError(
+                "no snapshot registry attached; serve with ServingConfig(registry_dir=...)"
+            )
+        return self.registry
+
+    def _controller(self) -> RolloutController:
+        return RolloutController(self.backend, self._require_registry())

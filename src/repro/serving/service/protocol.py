@@ -1,0 +1,160 @@
+"""The one contract every serving backend satisfies.
+
+PRs 1–3 grew three entry layers — :class:`~repro.serving.store.FactorStore`,
+:class:`~repro.serving.cluster.ServingCluster` and the lifecycle ops — and
+the callers that drive them (the traffic simulator, the rollout
+controller, the trainer facade) had started forking on
+``isinstance(backend, ServingCluster)``.  :class:`ServingBackend` is the
+protocol that replaces that duck-typing: a single store *is* a
+one-replica backend, a cluster is an R-replica backend, and every
+driver — :class:`~repro.serving.simulator.RequestSimulator`,
+:class:`~repro.serving.lifecycle.rollout.RolloutController`,
+:class:`~repro.serving.service.facade.RecommenderService` — speaks only
+this surface, so a future backend (heterogeneous replicas, remote
+shards, …) plugs in without touching any of them.
+
+The protocol splits into four groups:
+
+* **data plane** — ``predict`` / ``recommend`` / ``recommend_batch``;
+* **writes** — ``fold_in`` (cold-start user), ``grow_items`` (item-side
+  refresh), ``swap_snapshot`` (model rollout);
+* **topology & routing** — ``serving_units`` (the independently-clocked
+  :class:`FactorStore` units behind the facade), ``active_indices``,
+  ``route`` / ``route_among``, ``drain`` / ``restore``,
+  ``reset_routing`` and ``routing_label``: everything the simulator
+  needs to keep one server-free timeline per unit and everything a
+  rolling swap needs to rotate units out of traffic;
+* **observability** — ``loads`` (per-unit load figures) and
+  ``stats_dict`` (aggregate counters).
+
+The protocol is :func:`~typing.runtime_checkable`, so conformance is
+testable with ``isinstance`` — which checks *presence* of the surface;
+the parametrized suite in ``tests/test_serving_service.py`` checks the
+semantics (identical errors and envelope fields on every backend).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = ["ServingBackend"]
+
+
+@runtime_checkable
+class ServingBackend(Protocol):
+    """Anything that can serve a factor model: store, cluster, or beyond."""
+
+    # ------------------------------------------------------------------ #
+    # shape
+    # ------------------------------------------------------------------ #
+    @property
+    def n_users(self) -> int:
+        """Users servable right now (fold-ins included)."""
+        ...
+
+    @property
+    def n_items(self) -> int:
+        """Items servable right now."""
+        ...
+
+    @property
+    def f(self) -> int:
+        """Latent-feature dimension."""
+        ...
+
+    # ------------------------------------------------------------------ #
+    # data plane
+    # ------------------------------------------------------------------ #
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings for aligned user/item index arrays."""
+        ...
+
+    def recommend(self, user: int, k: int = 10, exclude=None) -> list[tuple[int, float]]:
+        """Top-``k`` items for one user."""
+        ...
+
+    def recommend_batch(
+        self, users: np.ndarray, k: int = 10, exclude=None, user_block: int = 512
+    ) -> list[list[tuple[int, float]]]:
+        """Top-``k`` items for every user in ``users``."""
+        ...
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def fold_in(self, items: np.ndarray, ratings: np.ndarray) -> int:
+        """Absorb a cold-start user on every unit; returns the new user id."""
+        ...
+
+    def grow_items(self, new_theta: np.ndarray) -> int:
+        """Append item rows on every unit; returns the first new item id."""
+        ...
+
+    def swap_snapshot(
+        self,
+        x: np.ndarray,
+        theta: np.ndarray,
+        *,
+        lam: float | None = None,
+        weighted: bool | None = None,
+        version: str | None = None,
+        solver: str | None = None,
+    ) -> None:
+        """Replace the served model on every unit (the rollout hook)."""
+        ...
+
+    # ------------------------------------------------------------------ #
+    # topology & routing
+    # ------------------------------------------------------------------ #
+    def serving_units(self) -> Sequence:
+        """The independently-clocked stores behind this backend (>= 1)."""
+        ...
+
+    def active_indices(self) -> list[int]:
+        """Unit indices currently in rotation (draining units excluded)."""
+        ...
+
+    def route(self) -> int:
+        """Pick the unit for the next batch; returns a global unit index."""
+        ...
+
+    def route_among(self, loads: Sequence[float]) -> int:
+        """One routing decision over the *active* units' load figures.
+
+        ``loads`` is aligned with :meth:`active_indices`; the return
+        value is an index **into that list** (the caller maps it back to
+        a global unit index).  This is the hook the traffic simulator
+        uses: it knows outstanding work per unit better than the backend
+        does, so it supplies the loads and the backend supplies only the
+        policy.
+        """
+        ...
+
+    def routing_label(self) -> str:
+        """Routing-policy name for reports (empty for a single unit)."""
+        ...
+
+    def reset_routing(self) -> None:
+        """Return the routing policy to its initial state (for replays)."""
+        ...
+
+    def drain(self, unit: int) -> None:
+        """Take one unit out of rotation (refused for the last one)."""
+        ...
+
+    def restore(self, unit: int) -> None:
+        """Return a drained unit to rotation."""
+        ...
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def loads(self) -> list[float]:
+        """One cumulative load figure per unit (simulated serving seconds)."""
+        ...
+
+    def stats_dict(self) -> dict:
+        """Aggregate serving counters for printing / reports."""
+        ...

@@ -16,14 +16,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.datasets.synthetic import powerlaw_weights
-from repro.serving.cluster import Router, ServingCluster, select_replica
-from repro.serving.store import FactorStore
 from repro.sparse.csr import CSRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.serving.service.protocol import ServingBackend
 
 __all__ = ["LifecycleEvent", "QueryTrace", "RequestSimulator", "TrafficReport"]
 
@@ -231,12 +232,15 @@ class RequestSimulator:
     Parameters
     ----------
     store:
-        The serving backend: a single :class:`FactorStore` or a
-        :class:`~repro.serving.cluster.ServingCluster`.  Against a
-        cluster, every dispatched window is routed to one replica by the
-        cluster's router; each replica has its own server-free timeline
-        while all share the arrival trace, and the report carries
-        per-replica query counts and utilization.
+        Any :class:`~repro.serving.service.protocol.ServingBackend` — a
+        single :class:`~repro.serving.store.FactorStore`, a
+        :class:`~repro.serving.cluster.ServingCluster`, or something new
+        that satisfies the protocol.  The simulator only speaks the
+        protocol: it keeps one server-free timeline per serving unit
+        (``serving_units``), offers the backend's routing policy the
+        outstanding work of the units in rotation (``active_indices`` /
+        ``route_among``), and reports per-unit query counts and
+        utilization; a lone store is simply a one-unit backend.
     k:
         Top-k size of every query.
     exclude:
@@ -250,7 +254,7 @@ class RequestSimulator:
 
     def __init__(
         self,
-        store: FactorStore | ServingCluster,
+        store: "ServingBackend",
         k: int = 10,
         exclude: CSRMatrix | None = None,
         max_batch: int = 256,
@@ -266,18 +270,6 @@ class RequestSimulator:
         self.max_batch = max_batch
         self.window_s = window_s
 
-    def _backends(self) -> tuple[list[FactorStore], Router | None]:
-        """The replica list and router behind ``store`` (router: None = single)."""
-        if isinstance(self.store, ServingCluster):
-            return self.store.replicas, self.store.router
-        return [self.store], None
-
-    def _active_indices(self) -> list[int]:
-        """Replicas currently routable (a lone store is always routable)."""
-        if isinstance(self.store, ServingCluster):
-            return self.store.active_indices()
-        return [0]
-
     def run(self, trace: QueryTrace, events: Sequence[LifecycleEvent] = ()) -> TrafficReport:
         """Serve every query in the trace; returns the traffic report.
 
@@ -290,9 +282,9 @@ class RequestSimulator:
         remaining queries are *dropped* and counted in the report.
         Events scheduled past the last arrival fire when the trace ends.
         """
-        replicas, router = self._backends()
-        if router is not None:
-            router.reset()
+        backend = self.store
+        replicas = list(backend.serving_units())
+        backend.reset_routing()
         n_replicas = len(replicas)
         arrivals, users = trace.arrivals, trace.users
         n = trace.n_requests
@@ -313,13 +305,13 @@ class RequestSimulator:
             while next_event < len(pending) and pending[next_event].time <= arrivals[i]:
                 pending[next_event].action()
                 next_event += 1
-            active = self._active_indices()
+            active = backend.active_indices()
             # Nothing in rotation: fast-forward to the event that will
             # change that, or drop the rest of the trace.
             while not active and next_event < len(pending):
                 pending[next_event].action()
                 next_event += 1
-                active = self._active_indices()
+                active = backend.active_indices()
             if not active:
                 n_served = i
                 break
@@ -344,18 +336,15 @@ class RequestSimulator:
                 next_event += 1
                 fired = True
             if fired:
-                active = self._active_indices()
+                active = backend.active_indices()
                 if not active:
                     continue
             # Route on outstanding work at dispatch time; a load-blind
             # policy may pick a replica that is still busy, in which case
             # the batch queues behind it (that queueing delay is exactly
             # what separates the routing policies).
-            if router is None:
-                choice = 0
-            else:
-                loads = [max(0.0, server_free[r] - dispatch) for r in active]
-                choice = active[select_replica(router, loads)]
+            loads = [max(0.0, server_free[r] - dispatch) for r in active]
+            choice = active[backend.route_among(loads)]
             replica = replicas[choice]
             before = replica.stats.simulated_seconds
             replica.recommend_batch(users[i:j], k=self.k, exclude=self.exclude)
@@ -400,7 +389,7 @@ class RequestSimulator:
             latency_max_s=float(served.max()) if n_served else 0.0,
             wall_seconds=wall,
             n_replicas=n_replicas,
-            router=router.name if router is not None else "",
+            router=backend.routing_label(),
             per_replica_queries=tuple(replica_queries),
             per_replica_busy_s=tuple(replica_busy),
             per_replica_utilization=tuple(

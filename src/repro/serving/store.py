@@ -450,6 +450,62 @@ class FactorStore:
         )
 
     # ------------------------------------------------------------------ #
+    # ServingBackend protocol: a lone store is a one-unit backend
+    # ------------------------------------------------------------------ #
+    def serving_units(self) -> list["FactorStore"]:
+        """The independently-clocked units behind this backend: just us."""
+        return [self]
+
+    def active_indices(self) -> list[int]:
+        """A single store is always in rotation."""
+        return [0]
+
+    def route(self) -> int:
+        """All traffic lands on the only unit."""
+        return 0
+
+    def route_among(self, loads) -> int:
+        """One unit, one choice (``loads`` has exactly one entry)."""
+        return 0
+
+    def routing_label(self) -> str:
+        """No routing policy to name for a single unit."""
+        return ""
+
+    def reset_routing(self) -> None:
+        """Nothing to reset: a single store routes trivially."""
+
+    def drain(self, unit: int) -> None:
+        """Refused: draining the only unit would leave nobody serving.
+
+        Identical semantics (and message) to draining the last active
+        replica of a :class:`~repro.serving.cluster.ServingCluster`.
+        """
+        if unit != 0:
+            raise ValueError(f"no replica {unit} in a 1-replica cluster")
+        raise RuntimeError("cannot drain the last active replica")
+
+    def restore(self, unit: int) -> None:
+        """Refused: the only unit is never draining."""
+        if unit != 0:
+            raise ValueError(f"no replica {unit} in a 1-replica cluster")
+        raise ValueError("replica 0 is not draining")
+
+    def loads(self) -> list[float]:
+        """Cumulative simulated serving seconds, one entry per unit."""
+        return [self.stats.simulated_seconds]
+
+    def stats_dict(self) -> dict:
+        """Serving counters plus identity, mirroring the cluster's shape."""
+        return {
+            "n_replicas": 1,
+            "n_active": 1,
+            "router": self.routing_label(),
+            "versions": [self.version],
+            **self.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -503,9 +559,9 @@ class FactorStore:
         blocks of ``user_block`` users to bound the ``block × n_items``
         score buffer.
         """
-        users = self._validate_users(users)
         if k <= 0:
-            raise ValueError("k must be positive")
+            raise ValueError("k must be >= 1")
+        users = self._validate_users(users)
         if exclude is not None:
             if exclude.shape[1] != self.n_items:
                 raise ValueError("exclude matrix must have one column per item")
