@@ -18,7 +18,7 @@ digitised curves:
 
 from repro.baselines.sgd_hogwild import ParallelSGD, SGDConfig
 from repro.baselines.nomad import NomadSGD
-from repro.baselines.ccd import CCDPlusPlus
+from repro.baselines.ccd import CCDConfig, CCDPlusPlus
 from repro.baselines.pals import PALS
 from repro.baselines.spark_als import SparkALS, theta_shipping_volume
 from repro.baselines.cost_model import CostEntry, cost_of_run, table1_entries
@@ -27,6 +27,7 @@ __all__ = [
     "SGDConfig",
     "ParallelSGD",
     "NomadSGD",
+    "CCDConfig",
     "CCDPlusPlus",
     "PALS",
     "SparkALS",

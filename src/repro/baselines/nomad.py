@@ -15,13 +15,17 @@ model (memory-bound compute plus the token traffic).
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.cluster.nodes import ClusterSpec
 from repro.cluster.perf import distributed_sgd_epoch_time
-from repro.core.config import FitResult, IterationStats
-from repro.core.metrics import rmse
+from repro.core.config import FitResult
 from repro.core.sgd import sgd_epoch
+from repro.core.solver.protocol import SolverStep, apply_warm_start
+from repro.core.solver.session import TrainingSession
+from repro.core.validation import validate_hyperparameters
 from repro.datasets.registry import DatasetSpec
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import Partition1D
@@ -43,8 +47,7 @@ class NomadSGD:
         cluster: ClusterSpec | None = None,
         full_scale: DatasetSpec | None = None,
     ):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        validate_hyperparameters(workers=workers)
         self.config = config
         self.workers = workers
         self.cluster = cluster
@@ -58,14 +61,26 @@ class NomadSGD:
         )
         return distributed_sgd_epoch_time(spec, self.cluster, self.config.f)
 
-    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None) -> FitResult:
-        """Run ``config.epochs`` epochs of the token-passing schedule."""
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """Yield the starting factors, then one step per token-passing epoch.
+
+        Setup (the per-worker block slicing) happens before the initial
+        yield, so it is not charged to epoch 1's wall-clock seconds.
+        """
         cfg = self.config
         m, n = train.shape
         rng_init = np.random.default_rng(cfg.seed)
         scale = cfg.init_scale / np.sqrt(cfg.f)
-        x = rng_init.random((m, cfg.f)) * scale
-        theta = rng_init.random((n, cfg.f)) * scale
+        x, theta = apply_warm_start(
+            rng_init.random((m, cfg.f)) * scale, rng_init.random((n, cfg.f)) * scale, x0, theta0
+        )
 
         workers = min(self.workers, m, n)
         row_part = Partition1D(m, workers)
@@ -75,16 +90,12 @@ class NomadSGD:
         worker_blocks = [
             [worker_rows[w].col_slice(*col_part.range_of(g)) for g in range(workers)] for w in range(workers)
         ]
+        yield SolverStep(x, theta)
 
         rng = np.random.default_rng(cfg.seed + 17)
-        import time as _time
-
-        history: list[IterationStats] = []
-        cumulative = 0.0
         lr = cfg.lr
         epoch_seconds = self._epoch_seconds(train)
-        for epoch in range(1, cfg.epochs + 1):
-            wall0 = _time.perf_counter()
+        for _ in range(cfg.epochs):
             for round_idx in range(workers):
                 for w in range(workers):
                     g = (w + round_idx) % workers  # the column token currently at worker w
@@ -95,15 +106,15 @@ class NomadSGD:
                     c_lo, c_hi = col_part.range_of(g)
                     sgd_epoch(block, x[r_lo:r_hi], theta[c_lo:c_hi], lr, cfg.lam, rng)
             lr *= cfg.lr_decay
-            seconds = epoch_seconds if epoch_seconds is not None else (_time.perf_counter() - wall0)
-            cumulative += seconds
-            history.append(
-                IterationStats(
-                    iteration=epoch,
-                    train_rmse=rmse(train, x, theta),
-                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
-                    seconds=seconds,
-                    cumulative_seconds=cumulative,
-                )
-            )
-        return FitResult(x=x, theta=theta, history=history, solver=self.name, config=None)
+            yield SolverStep(x, theta, seconds=epoch_seconds)
+
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> FitResult:
+        """Run ``config.epochs`` epochs of the token-passing schedule."""
+        return TrainingSession(self).run(train, test, x0=x0, theta0=theta0)

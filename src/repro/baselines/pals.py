@@ -11,8 +11,15 @@ only the needed subsets) can be made quantitative.
 
 from __future__ import annotations
 
+from typing import Iterator
+
+import numpy as np
+
 from repro.core.als_base import BaseALS
 from repro.core.config import ALSConfig, FitResult
+from repro.core.solver.protocol import SolverStep, StashedBreakdown
+from repro.core.solver.session import TrainingSession
+from repro.core.validation import validate_hyperparameters
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["PALS"]
@@ -20,14 +27,13 @@ __all__ = ["PALS"]
 FLOAT_BYTES = 4
 
 
-class PALS:
+class PALS(StashedBreakdown):
     """Row-partitioned ALS with full factor replication."""
 
     name = "pals"
 
     def __init__(self, config: ALSConfig, workers: int = 8):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        validate_hyperparameters(workers=workers)
         self.config = config
         self.workers = workers
 
@@ -40,12 +46,36 @@ class PALS:
         """Per-worker floats needed just for the replicated Θ."""
         return float(n_cols) * self.config.f
 
-    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None) -> FitResult:
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """The (numerically standard) ALS updates of the reference solver.
+
+        The replication profile (the breakdown) is computed eagerly —
+        it depends only on the problem shape — and stashed for the
+        session's ``finalize_result`` hook.
+        """
+        m, n = train.shape
+        self._stash_breakdown(
+            {
+                "broadcast_bytes_per_iteration": self.broadcast_bytes_per_iteration(n, m),
+                "replica_memory_floats": self.replica_memory_floats(n),
+            }
+        )
+        yield from BaseALS(self.config).iterate(train, test, x0=x0, theta0=theta0)
+
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> FitResult:
         """Run the (numerically standard) ALS iterations."""
-        result = BaseALS(self.config).fit(train, test)
-        result.solver = self.name
-        result.breakdown = {
-            "broadcast_bytes_per_iteration": self.broadcast_bytes_per_iteration(train.shape[1], train.shape[0]),
-            "replica_memory_floats": self.replica_memory_floats(train.shape[1]),
-        }
-        return result
+        return TrainingSession(self).run(train, test, x0=x0, theta0=theta0)

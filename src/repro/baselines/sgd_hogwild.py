@@ -15,14 +15,17 @@ model of :mod:`repro.cluster.perf`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.cluster.nodes import ClusterSpec, NodeSpec
 from repro.cluster.perf import distributed_sgd_epoch_time
-from repro.core.config import FitResult, IterationStats
-from repro.core.metrics import rmse
+from repro.core.config import FitResult
 from repro.core.sgd import sgd_epoch
+from repro.core.solver.protocol import SolverStep, apply_warm_start
+from repro.core.solver.session import TrainingSession
+from repro.core.validation import validate_hyperparameters
 from repro.datasets.registry import DatasetSpec
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import Partition1D
@@ -43,10 +46,14 @@ class SGDConfig:
     init_scale: float = 0.3
 
     def __post_init__(self) -> None:
-        if self.f <= 0 or self.epochs < 0:
-            raise ValueError("f must be positive and epochs non-negative")
-        if self.lr <= 0 or not 0 < self.lr_decay <= 1:
-            raise ValueError("lr must be positive and lr_decay in (0, 1]")
+        validate_hyperparameters(
+            f=self.f,
+            lam=self.lam,
+            epochs=self.epochs,
+            lr=self.lr,
+            lr_decay=self.lr_decay,
+            init_scale=self.init_scale,
+        )
 
 
 class ParallelSGD:
@@ -75,8 +82,7 @@ class ParallelSGD:
         node: NodeSpec | None = None,
         full_scale: DatasetSpec | None = None,
     ):
-        if cores < 1:
-            raise ValueError("cores must be >= 1")
+        validate_hyperparameters(cores=cores)
         self.config = config
         self.cores = cores
         self.node = node
@@ -96,11 +102,23 @@ class ParallelSGD:
         scale = self.config.init_scale / np.sqrt(self.config.f)
         return rng.random((m, self.config.f)) * scale, rng.random((n, self.config.f)) * scale
 
-    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None) -> FitResult:
-        """Run ``config.epochs`` epochs of the Latin-square block schedule."""
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """Yield the starting factors, then one step per Latin-square epoch.
+
+        Setup (the block grid pre-slicing) happens before the initial
+        yield, so it is not charged to epoch 1's wall-clock seconds.
+        """
         cfg = self.config
         m, n = train.shape
-        x, theta = self._init(m, n)
+        x, theta = apply_warm_start(*self._init(m, n), x0, theta0)
+
         grid_dim = min(self.cores, m, n)
         row_part = Partition1D(m, grid_dim)
         col_part = Partition1D(n, grid_dim)
@@ -110,16 +128,12 @@ class ParallelSGD:
         for bi in range(grid_dim):
             row_block = train.row_slice(*row_part.range_of(bi))
             blocks.append([row_block.col_slice(*col_part.range_of(bj)) for bj in range(grid_dim)])
+        yield SolverStep(x, theta)
 
         rng = np.random.default_rng(cfg.seed + 1)
-        import time as _time
-
-        history: list[IterationStats] = []
-        cumulative = 0.0
         lr = cfg.lr
         epoch_seconds = self._epoch_seconds(train)
-        for epoch in range(1, cfg.epochs + 1):
-            wall0 = _time.perf_counter()
+        for _ in range(cfg.epochs):
             for round_idx in range(grid_dim):
                 # Latin-square round: core c works on block (c, (c+round) mod d).
                 for c in range(grid_dim):
@@ -133,15 +147,15 @@ class ParallelSGD:
                     t_view = theta[c_lo:c_hi]
                     sgd_epoch(block, x_view, t_view, lr, cfg.lam, rng)
             lr *= cfg.lr_decay
-            seconds = epoch_seconds if epoch_seconds is not None else (_time.perf_counter() - wall0)
-            cumulative += seconds
-            history.append(
-                IterationStats(
-                    iteration=epoch,
-                    train_rmse=rmse(train, x, theta),
-                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
-                    seconds=seconds,
-                    cumulative_seconds=cumulative,
-                )
-            )
-        return FitResult(x=x, theta=theta, history=history, solver=self.name, config=None)
+            yield SolverStep(x, theta, seconds=epoch_seconds)
+
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> FitResult:
+        """Run ``config.epochs`` epochs of the Latin-square block schedule."""
+        return TrainingSession(self).run(train, test, x0=x0, theta0=theta0)

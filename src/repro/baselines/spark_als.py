@@ -17,10 +17,15 @@ with the row partitioning applied, recording that volume.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.core.als_base import BaseALS
 from repro.core.config import ALSConfig, FitResult
+from repro.core.solver.protocol import SolverStep, StashedBreakdown
+from repro.core.solver.session import TrainingSession
+from repro.core.validation import validate_hyperparameters
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import Partition1D
 
@@ -57,26 +62,49 @@ def theta_shipping_volume(train: CSRMatrix, workers: int, f: int) -> dict:
     }
 
 
-class SparkALS:
+class SparkALS(StashedBreakdown):
     """Row-partitioned ALS shipping only the needed Θ subsets."""
 
     name = "spark-als"
 
     def __init__(self, config: ALSConfig, workers: int = 50):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        validate_hyperparameters(workers=workers)
         self.config = config
         self.workers = workers
 
-    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None) -> FitResult:
-        """Run ALS and attach the shuffle-volume accounting to the result."""
-        result = BaseALS(self.config).fit(train, test)
-        result.solver = self.name
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """The (numerically standard) ALS updates of the reference solver.
+
+        The shuffle-volume accounting (the breakdown) is computed
+        eagerly — it depends only on the ratings pattern — and stashed
+        for the session's ``finalize_result`` hook, so no reference to
+        the ratings matrix outlives the run.
+        """
         volume_x = theta_shipping_volume(train, self.workers, self.config.f)
         volume_theta = theta_shipping_volume(train.to_csc().transpose_csr(), self.workers, self.config.f)
-        result.breakdown = {
-            "update_x_shuffle": volume_x,
-            "update_theta_shuffle": volume_theta,
-            "bytes_per_iteration": volume_x["bytes_shipped"] + volume_theta["bytes_shipped"],
-        }
-        return result
+        self._stash_breakdown(
+            {
+                "update_x_shuffle": volume_x,
+                "update_theta_shuffle": volume_theta,
+                "bytes_per_iteration": volume_x["bytes_shipped"] + volume_theta["bytes_shipped"],
+            }
+        )
+        yield from BaseALS(self.config).iterate(train, test, x0=x0, theta0=theta0)
+
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> FitResult:
+        """Run ALS and attach the shuffle-volume accounting to the result."""
+        return TrainingSession(self).run(train, test, x0=x0, theta0=theta0)

@@ -15,7 +15,11 @@ Three solver classes mirror the paper's three algorithm levels:
 
 :class:`~repro.core.trainer.CuMF` is the user-facing facade that picks a
 solver, runs the alternating iterations, tracks RMSE and simulated time,
-and offers prediction/recommendation helpers.
+and offers prediction/recommendation helpers.  The unified training API
+lives in :mod:`repro.core.solver`: the :class:`~repro.core.solver.Solver`
+protocol, the solver registry (``make_solver``/``register_solver``) and
+the callback-driven :class:`~repro.core.solver.TrainingSession` every
+solver's ``fit`` delegates to.
 """
 
 from repro.core.config import ALSConfig, FitResult, IterationStats
@@ -34,6 +38,19 @@ from repro.core.partition_planner import PartitionPlan, plan_partitions
 from repro.core.outofcore import OutOfCoreScheduler
 from repro.core.checkpoint import CheckpointManager
 from repro.core.sgd import sgd_epoch
+from repro.core.solver import (
+    CheckpointCallback,
+    EarlyStopping,
+    FitCallback,
+    MetricLogger,
+    Solver,
+    SolverStep,
+    TrainingSession,
+    make_solver,
+    register_solver,
+    solver_catalogue,
+    solver_names,
+)
 from repro.core.trainer import CuMF
 
 __all__ = [
@@ -57,5 +74,16 @@ __all__ = [
     "OutOfCoreScheduler",
     "CheckpointManager",
     "sgd_epoch",
+    "Solver",
+    "SolverStep",
+    "make_solver",
+    "register_solver",
+    "solver_names",
+    "solver_catalogue",
+    "TrainingSession",
+    "FitCallback",
+    "CheckpointCallback",
+    "EarlyStopping",
+    "MetricLogger",
     "CuMF",
 ]

@@ -4,17 +4,22 @@
 simulation; its timing column is host wall-clock.  Every other solver in
 the package must produce (numerically) the same factors — that invariant
 is what the property-based tests check.
+
+Like every solver, it exposes the update passes as an ``iterate``
+generator and delegates the loop bookkeeping (timing, history, RMSE) to
+a :class:`~repro.core.solver.session.TrainingSession`.
 """
 
 from __future__ import annotations
 
-import time
+from typing import Iterator
 
 import numpy as np
 
-from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.config import ALSConfig, FitResult
 from repro.core.hermitian import update_factor
-from repro.core.metrics import objective_value, rmse
+from repro.core.solver.protocol import SolverStep, apply_warm_start
+from repro.core.solver.session import TrainingSession
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["BaseALS", "init_factors"]
@@ -28,6 +33,24 @@ def init_factors(m: int, n: int, config: ALSConfig) -> tuple[np.ndarray, np.ndar
     return x.astype(np.float64), theta.astype(np.float64)
 
 
+def starting_factors(
+    train: CSRMatrix,
+    config: ALSConfig,
+    x0: np.ndarray | None,
+    theta0: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded random init, overridden per side by warm-start factors.
+
+    Shared by the ALS family's ``iterate``; the override itself is
+    :func:`~repro.core.solver.protocol.apply_warm_start`, the one
+    implementation of the warm-start contract every family (ALS, SGD,
+    CCD — each with its own random init) funnels through.
+    """
+    m, n = train.shape
+    x, theta = init_factors(m, n, config)
+    return apply_warm_start(x, theta, x0, theta0)
+
+
 class BaseALS:
     """Straightforward ALS: update X with Θ fixed, then Θ with X fixed."""
 
@@ -36,10 +59,35 @@ class BaseALS:
     def __init__(self, config: ALSConfig):
         self.config = config
 
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """Yield the starting factors, then one step per alternating update.
+
+        Setup (the R^T transpose) happens before the initial yield, so
+        it is not charged to iteration 1's wall-clock seconds — same as
+        the pre-session timing semantics.
+        """
+        cfg = self.config
+        x, theta = starting_factors(train, cfg, x0, theta0)
+        train_t = train.to_csc().transpose_csr()  # R^T in CSR layout, for update-Θ
+        yield SolverStep(x, theta)
+
+        for _ in range(cfg.iterations):
+            x = update_factor(train, theta, cfg.lam, row_batch=cfg.row_batch)
+            theta = update_factor(train_t, x, cfg.lam, row_batch=cfg.row_batch)
+            yield SolverStep(x, theta)
+
     def fit(
         self,
         train: CSRMatrix,
         test: CSRMatrix | None = None,
+        *,
         x0: np.ndarray | None = None,
         theta0: np.ndarray | None = None,
         compute_objective: bool = False,
@@ -50,31 +98,6 @@ class BaseALS:
         checkpoint-restart path and by tests that need identical starting
         points across solvers).
         """
-        cfg = self.config
-        m, n = train.shape
-        x, theta = init_factors(m, n, cfg)
-        if x0 is not None:
-            x = np.array(x0, dtype=np.float64, copy=True)
-        if theta0 is not None:
-            theta = np.array(theta0, dtype=np.float64, copy=True)
-
-        train_t = train.to_csc().transpose_csr()  # R^T in CSR layout, for update-Θ
-        history: list[IterationStats] = []
-        cumulative = 0.0
-        for it in range(1, cfg.iterations + 1):
-            started = time.perf_counter()
-            x = update_factor(train, theta, cfg.lam, row_batch=cfg.row_batch)
-            theta = update_factor(train_t, x, cfg.lam, row_batch=cfg.row_batch)
-            seconds = time.perf_counter() - started
-            cumulative += seconds
-            history.append(
-                IterationStats(
-                    iteration=it,
-                    train_rmse=rmse(train, x, theta),
-                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
-                    seconds=seconds,
-                    cumulative_seconds=cumulative,
-                    objective=objective_value(train, x, theta, cfg.lam) if compute_objective else float("nan"),
-                )
-            )
-        return FitResult(x=x, theta=theta, history=history, solver=self.name, config=cfg)
+        return TrainingSession(self).run(
+            train, test, x0=x0, theta0=theta0, compute_objective=compute_objective
+        )

@@ -16,14 +16,17 @@ changes is that every update pass is *executed through the simulated GPU*:
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
-from repro.core.als_base import init_factors
-from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.als_base import starting_factors
+from repro.core.config import ALSConfig, FitResult
 from repro.core.hermitian import batch_solve, compute_hermitians
 from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
-from repro.core.metrics import objective_value, rmse
 from repro.core.partition_planner import plan_partitions
+from repro.core.solver.protocol import SolverStep
+from repro.core.solver.session import TrainingSession
 from repro.gpu.machine import MultiGPUMachine
 from repro.gpu.memory import MemoryKind, OutOfDeviceMemory
 from repro.gpu.specs import TITAN_X, DeviceSpec
@@ -108,52 +111,53 @@ class MemoryOptimizedALS:
         return out
 
     # ------------------------------------------------------------------ #
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """Yield per-iteration factors with *simulated* seconds attached.
+
+        The initial host→device load of Θ, X and R is charged to the
+        first iteration's clock (further iterations reuse the resident
+        copies).
+        """
+        cfg = self.config
+        m, n = train.shape
+        x, theta = starting_factors(train, cfg, x0, theta0)
+        yield SolverStep(x, theta)
+
+        mark = self.machine.elapsed_seconds()
+        self._check_and_allocate(m, n, train.nnz)
+        train_t = train.to_csc().transpose_csr()
+        initial_bytes = (n * cfg.f + m * cfg.f + 2 * train.nnz + m + 1) * FLOAT_BYTES
+        self.machine.run_transfers([self.machine.h2d(0, initial_bytes, tag="initial-load")], label="h2d")
+
+        for _ in range(cfg.iterations):
+            x = self._update_pass(train, theta, label="x")
+            theta = self._update_pass(train_t, x, label="theta")
+            elapsed = self.machine.elapsed_seconds()
+            yield SolverStep(x, theta, seconds=elapsed - mark)
+            mark = elapsed
+
+    def finalize_result(self, result: FitResult) -> FitResult:
+        """Attach the machine's per-kernel/transfer time breakdown."""
+        result.breakdown = self.machine.clock.breakdown()
+        return result
+
     def fit(
         self,
         train: CSRMatrix,
         test: CSRMatrix | None = None,
+        *,
         x0: np.ndarray | None = None,
         theta0: np.ndarray | None = None,
         compute_objective: bool = False,
     ) -> FitResult:
         """Run MO-ALS; the history carries simulated seconds."""
-        cfg = self.config
-        m, n = train.shape
-        x, theta = init_factors(m, n, cfg)
-        if x0 is not None:
-            x = np.array(x0, dtype=np.float64, copy=True)
-        if theta0 is not None:
-            theta = np.array(theta0, dtype=np.float64, copy=True)
-
-        self._check_and_allocate(m, n, train.nnz)
-        train_t = train.to_csc().transpose_csr()
-
-        # Initial host→device load of Θ, X and R (charged once; further
-        # iterations reuse the resident copies).
-        initial_bytes = (n * cfg.f + m * cfg.f + 2 * train.nnz + m + 1) * FLOAT_BYTES
-        self.machine.run_transfers([self.machine.h2d(0, initial_bytes, tag="initial-load")], label="h2d")
-
-        history: list[IterationStats] = []
-        for it in range(1, cfg.iterations + 1):
-            t0 = self.machine.elapsed_seconds()
-            x = self._update_pass(train, theta, label="x")
-            theta = self._update_pass(train_t, x, label="theta")
-            seconds = self.machine.elapsed_seconds() - t0
-            history.append(
-                IterationStats(
-                    iteration=it,
-                    train_rmse=rmse(train, x, theta),
-                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
-                    seconds=seconds,
-                    cumulative_seconds=self.machine.elapsed_seconds(),
-                    objective=objective_value(train, x, theta, cfg.lam) if compute_objective else float("nan"),
-                )
-            )
-        return FitResult(
-            x=x,
-            theta=theta,
-            history=history,
-            solver=self.name,
-            config=cfg,
-            breakdown=self.machine.clock.breakdown(),
+        return TrainingSession(self).run(
+            train, test, x0=x0, theta0=theta0, compute_objective=compute_objective
         )

@@ -21,16 +21,19 @@ the machine topology.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.comm.collective import scatter_plan
 from repro.comm.reduction import ReductionScheme, TwoPhaseTopologyReduction, numeric_reduce
-from repro.core.als_base import init_factors
-from repro.core.config import ALSConfig, FitResult, IterationStats
+from repro.core.als_base import starting_factors
+from repro.core.config import ALSConfig, FitResult
 from repro.core.hermitian import batch_solve, compute_hermitians
 from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
-from repro.core.metrics import objective_value, rmse
 from repro.core.partition_planner import plan_partitions
+from repro.core.solver.protocol import SolverStep
+from repro.core.solver.session import TrainingSession
 from repro.gpu.machine import MultiGPUMachine
 from repro.gpu.specs import TITAN_X, DeviceSpec
 from repro.sparse.csr import CSRMatrix
@@ -221,45 +224,43 @@ class ScaleUpALS:
         return out
 
     # ------------------------------------------------------------------ #
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """Yield per-iteration factors with *simulated* seconds attached."""
+        cfg = self.config
+        x, theta = starting_factors(train, cfg, x0, theta0)
+        yield SolverStep(x, theta)
+
+        train_t = train.to_csc().transpose_csr()
+        mark = self.machine.elapsed_seconds()
+        for _ in range(cfg.iterations):
+            x = self._update_pass(train, theta, label="x")
+            theta = self._update_pass(train_t, x, label="theta")
+            elapsed = self.machine.elapsed_seconds()
+            yield SolverStep(x, theta, seconds=elapsed - mark)
+            mark = elapsed
+
+    def finalize_result(self, result: FitResult) -> FitResult:
+        """Attach the machine's per-kernel/transfer/reduction breakdown."""
+        result.breakdown = self.machine.clock.breakdown()
+        return result
+
     def fit(
         self,
         train: CSRMatrix,
         test: CSRMatrix | None = None,
+        *,
         x0: np.ndarray | None = None,
         theta0: np.ndarray | None = None,
         compute_objective: bool = False,
     ) -> FitResult:
         """Run SU-ALS; the history carries simulated seconds."""
-        cfg = self.config
-        m, n = train.shape
-        x, theta = init_factors(m, n, cfg)
-        if x0 is not None:
-            x = np.array(x0, dtype=np.float64, copy=True)
-        if theta0 is not None:
-            theta = np.array(theta0, dtype=np.float64, copy=True)
-
-        train_t = train.to_csc().transpose_csr()
-        history: list[IterationStats] = []
-        for it in range(1, cfg.iterations + 1):
-            t0 = self.machine.elapsed_seconds()
-            x = self._update_pass(train, theta, label="x")
-            theta = self._update_pass(train_t, x, label="theta")
-            seconds = self.machine.elapsed_seconds() - t0
-            history.append(
-                IterationStats(
-                    iteration=it,
-                    train_rmse=rmse(train, x, theta),
-                    test_rmse=rmse(test, x, theta) if test is not None and test.nnz else float("nan"),
-                    seconds=seconds,
-                    cumulative_seconds=self.machine.elapsed_seconds(),
-                    objective=objective_value(train, x, theta, cfg.lam) if compute_objective else float("nan"),
-                )
-            )
-        return FitResult(
-            x=x,
-            theta=theta,
-            history=history,
-            solver=self.name,
-            config=cfg,
-            breakdown=self.machine.clock.breakdown(),
+        return TrainingSession(self).run(
+            train, test, x0=x0, theta0=theta0, compute_objective=compute_objective
         )

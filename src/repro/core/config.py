@@ -6,6 +6,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.validation import validate_hyperparameters
+
 __all__ = ["ALSConfig", "IterationStats", "FitResult"]
 
 
@@ -55,16 +57,14 @@ class ALSConfig:
     dtype: type = np.float64
 
     def __post_init__(self) -> None:
-        if self.f <= 0:
-            raise ValueError("f must be positive")
-        if self.lam < 0:
-            raise ValueError("lam must be non-negative")
-        if self.iterations < 0:
-            raise ValueError("iterations must be non-negative")
-        if not 1 <= self.bin_size <= 1024:
-            raise ValueError("bin_size must be in [1, 1024]")
-        if self.row_batch <= 0:
-            raise ValueError("row_batch must be positive")
+        validate_hyperparameters(
+            f=self.f,
+            lam=self.lam,
+            iterations=self.iterations,
+            bin_size=self.bin_size,
+            row_batch=self.row_batch,
+            init_scale=self.init_scale,
+        )
 
     def with_(self, **changes) -> "ALSConfig":
         """Functional update (frozen dataclass convenience)."""
@@ -96,13 +96,19 @@ class IterationStats:
 
 @dataclass
 class FitResult:
-    """Outcome of a solver run: factors plus the convergence history."""
+    """Outcome of a solver run: factors plus the convergence history.
+
+    ``config`` carries whichever config family produced the run —
+    :class:`ALSConfig`, the baselines' ``SGDConfig``/``CCDConfig``, or
+    ``None``; downstream consumers (e.g. the serving tier picking up
+    ``lam`` for fold-ins) only rely on the shared field names.
+    """
 
     x: np.ndarray
     theta: np.ndarray
     history: list = field(default_factory=list)
     solver: str = ""
-    config: ALSConfig | None = None
+    config: object | None = None
     breakdown: dict = field(default_factory=dict)
 
     @property

@@ -1,11 +1,19 @@
 """High-level cuMF facade: fit / predict / recommend / serve / resume.
 
-:class:`CuMF` is the API a downstream user would adopt.  It hides the
-choice between the three solver levels behind a ``backend`` argument and
-optionally checkpoints every iteration.  Prediction and top-k
-recommendation delegate to a :class:`~repro.serving.store.FactorStore`
-snapshot of the learned factors, so the single-user and the batched
-serving paths share one code path.
+:class:`CuMF` is the API a downstream user would adopt.  ``backend``
+accepts *any* name in the solver registry — the three cuMF ALS levels
+(``"base"``, ``"mo"``, ``"su"``) and every baseline (``"ccd++"``,
+``"libmf-sgd"``, ``"nomad"``, ``"pals"``, ``"spark-als"``) — and
+:meth:`fit` runs the solver through a
+:class:`~repro.core.solver.session.TrainingSession`, so checkpointing is
+a :class:`~repro.core.solver.session.CheckpointCallback` and callers can
+pass their own :class:`~repro.core.solver.session.FitCallback` pipeline
+(early stop, metric logging).  Prediction and top-k recommendation
+delegate to a :class:`~repro.serving.store.FactorStore` snapshot of the
+learned factors, so the single-user and the batched serving paths share
+one code path — and since every solver returns the same
+:class:`~repro.core.config.FitResult`, a CCD++- or SGD-trained model
+serves through :meth:`CuMF.serve` exactly like an ALS-trained one.
 
 Serving proper goes through one front door: :meth:`CuMF.serve` takes a
 declarative :class:`~repro.serving.service.ServingConfig` (replicas,
@@ -24,31 +32,32 @@ import warnings
 import numpy as np
 
 from repro.comm.reduction import ReductionScheme
-from repro.core.als_base import BaseALS
-from repro.core.als_mo import MemoryOptimizedALS
-from repro.core.als_su import ScaleUpALS
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import ALSConfig, FitResult
 from repro.core.metrics import rmse
+from repro.core.solver import CheckpointCallback, TrainingSession, get_solver_spec, make_solver
 from repro.gpu.machine import MultiGPUMachine
 from repro.gpu.specs import TITAN_X, DeviceSpec
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["CuMF"]
 
-_BACKENDS = ("base", "mo", "su")
-
 
 class CuMF:
-    """Matrix factorization with the cuMF solvers.
+    """Matrix factorization with any registered solver.
 
     Parameters
     ----------
     config:
-        Hyper-parameters and optimisation switches.
+        Hyper-parameters and optimisation switches.  An
+        :class:`~repro.core.config.ALSConfig` works for every backend:
+        the registry maps its common fields onto the baseline families
+        (``iterations`` becomes ``epochs`` for the SGD solvers).
     backend:
-        ``"base"`` (plain NumPy Algorithm 1), ``"mo"`` (single simulated
-        GPU, Algorithm 2) or ``"su"`` (multi-GPU, Algorithm 3).
+        Any name in the solver registry — ``"base"`` (plain NumPy
+        Algorithm 1), ``"mo"`` (single simulated GPU, Algorithm 2),
+        ``"su"`` (multi-GPU, Algorithm 3), or a baseline (``"ccd++"``,
+        ``"libmf-sgd"``, ``"nomad"``, ``"pals"``, ``"spark-als"``).
     n_gpus:
         Number of GPUs for the ``"su"`` backend (ignored otherwise).
     spec:
@@ -59,8 +68,15 @@ class CuMF:
     reduction:
         Reduction scheme for ``"su"`` (default: two-phase topology-aware).
     checkpoint_dir:
-        When set, X/Θ are checkpointed after every iteration and
-        :meth:`fit` resumes from the latest checkpoint if one exists.
+        When set, X/Θ are checkpointed during training (via a
+        :class:`~repro.core.solver.session.CheckpointCallback`) and
+        :meth:`fit` resumes from the latest checkpoint if one exists —
+        for *any* backend, since warm-start is part of the solver
+        protocol.
+    checkpoint_every:
+        Save cadence in iterations (default 1: every iteration).  The
+        final iteration is always saved, so ``every=N`` trades recovery
+        granularity for write volume without losing the end of a run.
     """
 
     def __init__(
@@ -72,40 +88,62 @@ class CuMF:
         machine: MultiGPUMachine | None = None,
         reduction: ReductionScheme | None = None,
         checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
     ):
-        if backend not in _BACKENDS:
-            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = get_solver_spec(backend).name  # ValueError on unknown names
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.config = config or ALSConfig()
-        self.backend = backend
         self.n_gpus = n_gpus
         self.spec = spec
         self.machine = machine
         self.reduction = reduction
         self.checkpoints = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = checkpoint_every
         self.result: FitResult | None = None
         self._store = None
 
     # ------------------------------------------------------------------ #
     def _build_solver(self):
-        if self.backend == "base":
-            return BaseALS(self.config)
-        if self.backend == "mo":
-            machine = self.machine or MultiGPUMachine(n_gpus=1, spec=self.spec)
-            return MemoryOptimizedALS(self.config, machine=machine)
-        machine = self.machine or MultiGPUMachine(n_gpus=self.n_gpus, spec=self.spec)
-        return ScaleUpALS(self.config, machine=machine, reduction=self.reduction)
+        return make_solver(
+            self.backend,
+            config=self.config,
+            machine=self.machine,
+            n_gpus=self.n_gpus,
+            spec=self.spec,
+            reduction=self.reduction,
+        )
 
-    def fit(self, train: CSRMatrix, test: CSRMatrix | None = None, resume: bool = False) -> FitResult:
-        """Train on ``train`` and (optionally) track test RMSE per iteration."""
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        resume: bool = False,
+        callbacks=(),
+    ) -> FitResult:
+        """Train on ``train`` and (optionally) track test RMSE per iteration.
+
+        ``callbacks`` extend the session's :class:`FitCallback` pipeline
+        (checkpointing, when configured, is appended automatically —
+        unless the caller already supplied a
+        :class:`CheckpointCallback` of their own, which then takes
+        over).  With ``resume=True`` and a checkpoint on disk, training
+        warm-starts from the saved factors and the history *continues*
+        the saved iteration numbering instead of restarting at 1.
+        """
         solver = self._build_solver()
         x0 = theta0 = None
+        start_iteration = 0
         if resume and self.checkpoints is not None:
             restored = self.checkpoints.latest()
             if restored is not None:
                 x0, theta0 = restored.x, restored.theta
-        result = solver.fit(train, test, x0=x0, theta0=theta0)
-        if self.checkpoints is not None and result.history:
-            self.checkpoints.save(result.history[-1].iteration, result.x, result.theta)
+                start_iteration = restored.iteration
+        pipeline = list(callbacks)
+        if self.checkpoints is not None and not any(isinstance(cb, CheckpointCallback) for cb in pipeline):
+            pipeline.append(CheckpointCallback(self.checkpoints, every=self.checkpoint_every))
+        session = TrainingSession(solver, callbacks=pipeline)
+        result = session.run(train, test, x0=x0, theta0=theta0, start_iteration=start_iteration)
         self.result = result
         self._store = None  # invalidate the serving snapshot of a previous fit
         return result

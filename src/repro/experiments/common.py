@@ -11,11 +11,17 @@ The convergence experiments combine two ingredients (see DESIGN.md):
 
 :func:`remap_time_axis` stitches the two together, which is how every
 "RMSE vs training time" series in Figures 6-10 is produced.
+
+Solvers are requested *declaratively*: a driver states ``{"name": "mo",
+"config": ...}`` specs and :func:`run_solvers` turns them into fitted
+results through the solver registry, so no experiment imports a solver
+class or hand-wires a constructor.
 """
 
 from __future__ import annotations
 
 from repro.core.config import FitResult
+from repro.core.solver import make_solver
 from repro.datasets.registry import HUGEWIKI, NETFLIX, YAHOOMUSIC, DatasetSpec
 from repro.datasets.synthetic import SyntheticRatings, generate_ratings
 
@@ -23,6 +29,7 @@ __all__ = [
     "netflix_like",
     "yahoomusic_like",
     "hugewiki_like",
+    "run_solvers",
     "remap_time_axis",
     "series_reaches",
     "format_table",
@@ -45,6 +52,17 @@ def hugewiki_like(max_rows: int = 4000, f: int = 16, seed: int = 13) -> Syntheti
     """A scaled-down Hugewiki-shaped workload (huge m, tiny n)."""
     spec = HUGEWIKI.scaled(max_rows=max_rows, f=f)
     return generate_ratings(spec, seed=seed, noise_sigma=0.3)
+
+
+def run_solvers(specs: dict[str, dict], train, test=None) -> dict[str, FitResult]:
+    """Fit one registry-built solver per spec; returns ``{key: FitResult}``.
+
+    Each value of ``specs`` is a declarative solver spec as accepted by
+    :func:`~repro.core.solver.make_solver` — typically
+    ``{"name": "mo", "config": ALSConfig(...)}`` plus solver keywords
+    like ``cores`` or ``n_gpus``.
+    """
+    return {key: make_solver(spec).fit(train, test) for key, spec in specs.items()}
 
 
 def remap_time_axis(result: FitResult, seconds_per_iteration: float) -> list[dict]:

@@ -10,15 +10,12 @@ the former and is ~10× faster than the latter.
 
 from __future__ import annotations
 
-from repro.baselines.nomad import NomadSGD
-from repro.baselines.sgd_hogwild import SGDConfig
 from repro.cluster.nodes import AWS_M3_XLARGE, HPC_NODE, ClusterSpec
 from repro.cluster.perf import distributed_sgd_epoch_time
-from repro.core.als_su import ScaleUpALS
 from repro.core.config import ALSConfig
 from repro.core.perfmodel import su_als_iteration_time
 from repro.datasets.registry import HUGEWIKI
-from repro.experiments.common import hugewiki_like, remap_time_axis
+from repro.experiments.common import hugewiki_like, remap_time_axis, run_solvers
 
 __all__ = ["figure10_series"]
 
@@ -28,21 +25,25 @@ def figure10_series(max_rows: int = 2500, f: int = 16, iterations: int = 6, epoc
     data = hugewiki_like(max_rows=max_rows, f=f, seed=seed)
 
     cfg = ALSConfig(f=f, lam=HUGEWIKI.lam, iterations=iterations, seed=seed)
-    cumf_fit = ScaleUpALS(cfg, n_gpus=4).fit(data.train, data.test)
+    fits = run_solvers(
+        {
+            "cumf": {"name": "su", "config": cfg, "n_gpus": 4},
+            "nomad": {"name": "nomad", "config": cfg, "lr": 0.05, "epochs": epochs, "workers": 16},
+        },
+        data.train,
+        data.test,
+    )
     cumf_iter_s = su_als_iteration_time(HUGEWIKI, n_gpus=4).seconds
-
-    sgd_cfg = SGDConfig(f=f, lam=HUGEWIKI.lam, lr=0.05, epochs=epochs, seed=seed)
     hpc64 = ClusterSpec(HPC_NODE, 64, "NOMAD 64-node HPC")
     aws32 = ClusterSpec(AWS_M3_XLARGE, 32, "NOMAD 32-node AWS")
-    nomad_fit = NomadSGD(sgd_cfg, workers=16).fit(data.train, data.test)
     epoch_hpc = distributed_sgd_epoch_time(HUGEWIKI, hpc64)
     epoch_aws = distributed_sgd_epoch_time(HUGEWIKI, aws32)
 
     return {
         "dataset": HUGEWIKI.name,
-        "cumf_4gpu": remap_time_axis(cumf_fit, cumf_iter_s),
-        "nomad_hpc64": remap_time_axis(nomad_fit, epoch_hpc),
-        "nomad_aws32": remap_time_axis(nomad_fit, epoch_aws),
+        "cumf_4gpu": remap_time_axis(fits["cumf"], cumf_iter_s),
+        "nomad_hpc64": remap_time_axis(fits["nomad"], epoch_hpc),
+        "nomad_aws32": remap_time_axis(fits["nomad"], epoch_aws),
         "cumf_seconds_per_iteration": cumf_iter_s,
         "nomad_hpc64_seconds_per_epoch": epoch_hpc,
         "nomad_aws32_seconds_per_epoch": epoch_aws,

@@ -6,6 +6,10 @@ per-epoch) latency, which both sides produce from their performance
 models: cuMF@4×GK210 from the simulated-GPU model, the baselines from the
 cluster model.  The cuMF f=100 row is the "largest MF problem reported"
 run (3.8 hours per iteration in the paper).
+
+Like the convergence drivers, the comparison is *declarative*: one
+``_WORKLOADS`` table states dataset, baseline system, cluster and timing
+model per bar group, and :func:`figure11_rows` evaluates it.
 """
 
 from __future__ import annotations
@@ -27,46 +31,50 @@ __all__ = ["figure11_rows"]
 PAPER_BASELINE_SECONDS = {"SparkALS": 240.0, "Factorbird": 563.0, "Facebook": float("nan")}
 PAPER_CUMF_SECONDS = {"SparkALS": 24.0, "Factorbird": 92.0, "Facebook": 746.0, "cuMF": 3.8 * 3600.0}
 
+#: One entry per bar group: the baseline system, its cluster, and the
+#: performance model that produces its per-iteration (or per-epoch) time.
+_WORKLOADS = [
+    {
+        "dataset": SPARKALS,
+        "paper_key": "SparkALS",
+        "baseline_system": "Spark MLlib ALS (50 nodes)",
+        "cluster": (AWS_M3_2XLARGE, 50, "50x m3.2xlarge"),
+        "baseline_model": distributed_als_iteration_time,
+    },
+    {
+        "dataset": FACTORBIRD,
+        "paper_key": "Factorbird",
+        "baseline_system": "Factorbird parameter server (50 nodes)",
+        "cluster": (AWS_C3_2XLARGE, 50, "50x c3.2xlarge"),
+        "baseline_model": parameter_server_epoch_time,
+    },
+    {
+        "dataset": FACEBOOK,
+        "paper_key": "Facebook",
+        "baseline_system": "Facebook Giraph rotation ALS (50 workers)",
+        "cluster": (AWS_C3_2XLARGE, 50, "50 Giraph workers"),
+        "baseline_model": rotation_als_iteration_time,
+    },
+]
+
 
 def figure11_rows(n_gpus: int = 4) -> list[dict]:
     """One row per bar group in Figure 11 (plus the f=100 largest run)."""
     rows = []
-
-    spark_cluster = ClusterSpec(AWS_M3_2XLARGE, 50, "50x m3.2xlarge")
-    rows.append(
-        {
-            "workload": SPARKALS.name,
-            "baseline_system": "Spark MLlib ALS (50 nodes)",
-            "baseline_seconds": distributed_als_iteration_time(SPARKALS, spark_cluster),
-            "cumf_seconds": su_als_iteration_time(SPARKALS, n_gpus=n_gpus, spec=GK210).seconds,
-            "paper_baseline_seconds": PAPER_BASELINE_SECONDS["SparkALS"],
-            "paper_cumf_seconds": PAPER_CUMF_SECONDS["SparkALS"],
-        }
-    )
-
-    factorbird_cluster = ClusterSpec(AWS_C3_2XLARGE, 50, "50x c3.2xlarge")
-    rows.append(
-        {
-            "workload": FACTORBIRD.name,
-            "baseline_system": "Factorbird parameter server (50 nodes)",
-            "baseline_seconds": parameter_server_epoch_time(FACTORBIRD, factorbird_cluster),
-            "cumf_seconds": su_als_iteration_time(FACTORBIRD, n_gpus=n_gpus, spec=GK210).seconds,
-            "paper_baseline_seconds": PAPER_BASELINE_SECONDS["Factorbird"],
-            "paper_cumf_seconds": PAPER_CUMF_SECONDS["Factorbird"],
-        }
-    )
-
-    giraph_cluster = ClusterSpec(AWS_C3_2XLARGE, 50, "50 Giraph workers")
-    rows.append(
-        {
-            "workload": FACEBOOK.name,
-            "baseline_system": "Facebook Giraph rotation ALS (50 workers)",
-            "baseline_seconds": rotation_als_iteration_time(FACEBOOK, giraph_cluster),
-            "cumf_seconds": su_als_iteration_time(FACEBOOK, n_gpus=n_gpus, spec=GK210).seconds,
-            "paper_baseline_seconds": PAPER_BASELINE_SECONDS["Facebook"],
-            "paper_cumf_seconds": PAPER_CUMF_SECONDS["Facebook"],
-        }
-    )
+    for workload in _WORKLOADS:
+        dataset = workload["dataset"]
+        node, n_nodes, label = workload["cluster"]
+        cluster = ClusterSpec(node, n_nodes, label)
+        rows.append(
+            {
+                "workload": dataset.name,
+                "baseline_system": workload["baseline_system"],
+                "baseline_seconds": workload["baseline_model"](dataset, cluster),
+                "cumf_seconds": su_als_iteration_time(dataset, n_gpus=n_gpus, spec=GK210).seconds,
+                "paper_baseline_seconds": PAPER_BASELINE_SECONDS[workload["paper_key"]],
+                "paper_cumf_seconds": PAPER_CUMF_SECONDS[workload["paper_key"]],
+            }
+        )
 
     rows.append(
         {

@@ -10,15 +10,12 @@ iteration makes far more progress, so it catches up and wins.
 
 from __future__ import annotations
 
-from repro.baselines.nomad import NomadSGD
-from repro.baselines.sgd_hogwild import ParallelSGD, SGDConfig
 from repro.cluster.nodes import ClusterSpec, NodeSpec
 from repro.cluster.perf import distributed_sgd_epoch_time
-from repro.core.als_mo import MemoryOptimizedALS
 from repro.core.config import ALSConfig
 from repro.core.perfmodel import mo_als_iteration_time
 from repro.datasets.registry import NETFLIX, YAHOOMUSIC, DatasetSpec
-from repro.experiments.common import netflix_like, remap_time_axis, yahoomusic_like
+from repro.experiments.common import netflix_like, remap_time_axis, run_solvers, yahoomusic_like
 
 __all__ = ["figure6_series", "CPU_30_CORES"]
 
@@ -33,20 +30,23 @@ def _one_dataset(data, full_spec: DatasetSpec, iterations: int, epochs: int, f: 
     # the dataset's own λ (e.g. YahooMusic's 1.4, tuned for 0-100 ratings)
     # only parameterises the full-scale timing model.
     als_cfg = ALSConfig(f=f, lam=0.05, iterations=iterations, seed=seed)
-    cumf = MemoryOptimizedALS(als_cfg).fit(data.train, data.test)
+    fits = run_solvers(
+        {
+            "cumf": {"name": "mo", "config": als_cfg},
+            "libmf": {"name": "libmf-sgd", "config": als_cfg, "lr": 0.05, "epochs": epochs, "cores": 30},
+            "nomad": {"name": "nomad", "config": als_cfg, "lr": 0.05, "epochs": epochs, "workers": 30},
+        },
+        data.train,
+        data.test,
+    )
     cumf_iter_s = mo_als_iteration_time(full_spec).seconds
-
-    sgd_cfg = SGDConfig(f=f, lam=0.05, lr=0.05, epochs=epochs, seed=seed)
-    cluster = ClusterSpec(CPU_30_CORES, 1)
-    epoch_s = distributed_sgd_epoch_time(full_spec, cluster)
-    libmf = ParallelSGD(sgd_cfg, cores=30).fit(data.train, data.test)
-    nomad = NomadSGD(sgd_cfg, workers=30).fit(data.train, data.test)
+    epoch_s = distributed_sgd_epoch_time(full_spec, ClusterSpec(CPU_30_CORES, 1))
 
     return {
         "dataset": full_spec.name,
-        "cumf": remap_time_axis(cumf, cumf_iter_s),
-        "libmf": remap_time_axis(libmf, epoch_s),
-        "nomad": remap_time_axis(nomad, epoch_s * 1.05),  # NOMAD's token passing adds slight overhead on one node
+        "cumf": remap_time_axis(fits["cumf"], cumf_iter_s),
+        "libmf": remap_time_axis(fits["libmf"], epoch_s),
+        "nomad": remap_time_axis(fits["nomad"], epoch_s * 1.05),  # NOMAD's token passing adds slight overhead on one node
         "cumf_seconds_per_iteration": cumf_iter_s,
         "sgd_seconds_per_epoch": epoch_s,
     }

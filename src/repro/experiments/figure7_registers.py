@@ -2,20 +2,25 @@
 
 from __future__ import annotations
 
-from repro.core.als_mo import MemoryOptimizedALS
 from repro.core.config import ALSConfig
 from repro.core.perfmodel import mo_als_iteration_time
 from repro.datasets.registry import NETFLIX, YAHOOMUSIC, DatasetSpec
-from repro.experiments.common import netflix_like, remap_time_axis, yahoomusic_like
+from repro.experiments.common import netflix_like, remap_time_axis, run_solvers, yahoomusic_like
 
 __all__ = ["figure7_series"]
 
 
 def _panel(data, full_spec: DatasetSpec, f: int, iterations: int, seed: int) -> dict:
     with_cfg = ALSConfig(f=f, lam=0.05, iterations=iterations, seed=seed, use_registers=True)
-    without_cfg = with_cfg.with_(use_registers=False)
-    with_fit = MemoryOptimizedALS(with_cfg).fit(data.train, data.test)
-    without_fit = MemoryOptimizedALS(without_cfg).fit(data.train, data.test)
+    fits = run_solvers(
+        {
+            "with": {"name": "mo", "config": with_cfg},
+            "without": {"name": "mo", "config": with_cfg, "use_registers": False},
+        },
+        data.train,
+        data.test,
+    )
+    with_fit, without_fit = fits["with"], fits["without"]
     with_full = mo_als_iteration_time(full_spec, ALSConfig(f=full_spec.f, lam=full_spec.lam, use_registers=True))
     without_full = mo_als_iteration_time(full_spec, ALSConfig(f=full_spec.f, lam=full_spec.lam, use_registers=False))
     return {

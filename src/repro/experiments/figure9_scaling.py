@@ -7,28 +7,26 @@ speedup (3.8× at four GPUs) bounded only by PCIe contention.
 
 from __future__ import annotations
 
-from repro.core.als_mo import MemoryOptimizedALS
-from repro.core.als_su import ScaleUpALS
 from repro.core.config import ALSConfig
 from repro.core.perfmodel import mo_als_iteration_time, su_als_iteration_time
 from repro.datasets.registry import NETFLIX, YAHOOMUSIC, DatasetSpec
-from repro.experiments.common import netflix_like, remap_time_axis, yahoomusic_like
+from repro.experiments.common import netflix_like, remap_time_axis, run_solvers, yahoomusic_like
 
 __all__ = ["figure9_series"]
 
 
 def _panel(data, full_spec: DatasetSpec, f: int, iterations: int, seed: int, gpu_counts: tuple[int, ...]) -> dict:
     cfg = ALSConfig(f=f, lam=0.05, iterations=iterations, seed=seed)
+    specs = {
+        p: {"name": "mo", "config": cfg} if p == 1 else {"name": "su", "config": cfg, "n_gpus": p}
+        for p in gpu_counts
+    }
+    fits = run_solvers(specs, data.train, data.test)
     curves = {}
     iteration_seconds = {}
     for p in gpu_counts:
-        if p == 1:
-            fit = MemoryOptimizedALS(cfg).fit(data.train, data.test)
-            full = mo_als_iteration_time(full_spec)
-        else:
-            fit = ScaleUpALS(cfg, n_gpus=p).fit(data.train, data.test)
-            full = su_als_iteration_time(full_spec, n_gpus=p)
-        curves[p] = remap_time_axis(fit, full.seconds)
+        full = mo_als_iteration_time(full_spec) if p == 1 else su_als_iteration_time(full_spec, n_gpus=p)
+        curves[p] = remap_time_axis(fits[p], full.seconds)
         iteration_seconds[p] = full.seconds
     base = iteration_seconds[gpu_counts[0]]
     return {

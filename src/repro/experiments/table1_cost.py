@@ -28,6 +28,13 @@ PAPER_TABLE1 = {
     "Factorbird": {"speed": 6.0, "cost": 0.02},
 }
 
+#: The three baseline clusters of Table 1, declared once.
+_CLUSTERS = {
+    "NOMAD": (AWS_M3_XLARGE, 32, "NOMAD 32x m3.xlarge"),
+    "SparkALS": (AWS_M3_2XLARGE, 50, "SparkALS 50x m3.2xlarge"),
+    "Factorbird": (AWS_C3_2XLARGE, 50, "Factorbird 50x c3.2xlarge"),
+}
+
 
 def table1_rows(n_gpus: int = 4, als_iterations: int = 10, sgd_epochs: int = 40) -> list[dict]:
     """Regenerate the three rows of Table 1 from the performance models.
@@ -39,15 +46,13 @@ def table1_rows(n_gpus: int = 4, als_iterations: int = 10, sgd_epochs: int = 40)
     ``sgd_epochs`` knob.  SparkALS and Factorbird compare per-iteration
     latency, as in the paper.
     """
-    nomad_cluster = ClusterSpec(AWS_M3_XLARGE, 32, "NOMAD 32x m3.xlarge")
-    spark_cluster = ClusterSpec(AWS_M3_2XLARGE, 50, "SparkALS 50x m3.2xlarge")
-    factorbird_cluster = ClusterSpec(AWS_C3_2XLARGE, 50, "Factorbird 50x c3.2xlarge")
+    clusters = {name: ClusterSpec(*spec) for name, spec in _CLUSTERS.items()}
 
-    nomad_seconds = distributed_sgd_epoch_time(HUGEWIKI, nomad_cluster) * sgd_epochs
+    nomad_seconds = distributed_sgd_epoch_time(HUGEWIKI, clusters["NOMAD"]) * sgd_epochs
     cumf_hugewiki = su_als_iteration_time(HUGEWIKI, n_gpus=n_gpus, spec=GK210).seconds * als_iterations
-    spark_seconds = distributed_als_iteration_time(SPARKALS, spark_cluster)
+    spark_seconds = distributed_als_iteration_time(SPARKALS, clusters["SparkALS"])
     cumf_spark = su_als_iteration_time(SPARKALS, n_gpus=n_gpus, spec=GK210).seconds
-    factorbird_seconds = parameter_server_epoch_time(FACTORBIRD, factorbird_cluster)
+    factorbird_seconds = parameter_server_epoch_time(FACTORBIRD, clusters["Factorbird"])
     cumf_factorbird = su_als_iteration_time(FACTORBIRD, n_gpus=n_gpus, spec=GK210).seconds
 
     entries = table1_entries(
