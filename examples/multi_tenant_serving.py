@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Multi-tenant SLO serving: one model, three tenants, three contracts.
+
+A production recommender rarely serves one caller.  This example puts a
+:class:`TenantPolicy` table into the :class:`ServingConfig`:
+
+* ``interactive`` — weight 4, priority 5, a latency SLO.  Under
+  overload it keeps its p95 and never sheds;
+* ``batch`` — weight 1.  It soaks up leftover capacity and absorbs the
+  overload as typed queue sheds;
+* ``trial`` — a hard rate cap with a reduced-``k`` degrade: past the
+  cap it is served at ``k=3`` instead of being dropped.
+
+Every data-plane call carries a ``tenant=``; over-cap calls come back
+as ``shed``/``degraded`` envelopes instead of exceptions, and the
+simulator replays a merged three-tenant trace through weighted fair
+queueing, reporting per-tenant percentiles and SLO violations.
+
+Run:  python examples/multi_tenant_serving.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core import ALSConfig, CuMF
+from repro.datasets import NETFLIX, generate_ratings
+from repro.serving import QueryTrace, ServingConfig, ShedError, TenantPolicy
+
+
+def main() -> None:
+    spec = NETFLIX.scaled(max_rows=2000, f=16)
+    data = generate_ratings(spec, seed=0, noise_sigma=0.3)
+    n_users = data.train.shape[0]
+
+    model = CuMF(ALSConfig(f=16, lam=0.05, iterations=4, seed=1), backend="mo")
+    model.fit(data.train)
+
+    # The tenancy contract lives in the config, next to the topology.
+    service = model.serve(
+        ServingConfig(
+            replicas=2,
+            n_shards=2,
+            ratings=data.train,
+            tenants=[
+                TenantPolicy("interactive", weight=4.0, priority=5, deadline_ms=5.0, queue_limit=256),
+                TenantPolicy("batch", weight=1.0, queue_limit=64),
+                TenantPolicy("trial", rate_cap_qps=200.0, burst=4, degrade_k=3),
+            ],
+        )
+    )
+    print(f"serving: {service!r}")
+
+    # Data plane: the tenant rides in the envelope.
+    users = np.array([0, 1, 2])
+    response = service.recommend(users, k=10, tenant="interactive")
+    print(
+        f"interactive recommend -> status={response.status} "
+        f"tenant={response.tenant!r} latency={response.latency_s * 1e3:.3f} ms"
+    )
+
+    # Hammer the capped tenant: the bucket empties, and over-cap calls
+    # degrade to k=3 instead of shedding (the policy has degrade_k).
+    statuses = [service.recommend(users, k=10, tenant="trial").status for _ in range(8)]
+    degraded = next(r for r in [service.recommend(users, k=10, tenant="trial")] if r.status != "ok")
+    print(f"trial under hammering  -> {statuses} then {degraded.status}")
+    print(f"  degraded payload is top-{len(degraded.payload[0])} (policy degrade_k=3)")
+
+    # predict() has no degrade knob, so the same cap sheds hard there —
+    # as a typed envelope, which raise_for_status turns into ShedError.
+    shed = service.predict(np.array([0]), np.array([5]), tenant="trial")
+    try:
+        shed.raise_for_status()
+    except ShedError as exc:
+        print(f"trial predict          -> status={shed.status} raise_for_status={exc}")
+
+    # Calibrate the backend's simulated capacity, then replay a merged
+    # trace at 2x that: weighted fair queueing keeps the interactive
+    # tenant inside its SLO (zero sheds) while batch soaks the entire
+    # overload as typed queue sheds at its bounded flow buffer.
+    probe = service.simulate(
+        QueryTrace.poisson(2000, 1e7, n_users, seed=5), k=10, max_batch=32, window_s=2e-4
+    )
+    capacity = 2 * probe.n_requests / probe.service_seconds  # 2 replicas
+    trace = QueryTrace.multi_tenant(
+        {"interactive": 0.3 * capacity, "batch": 1.7 * capacity},
+        duration_s=40_000 / (2 * capacity),
+        n_users=n_users,
+        seed=11,
+    )
+    report = service.simulate(trace, k=10, max_batch=32, window_s=2e-4)
+    print()
+    print(report.summary())
+    print(f"tenant counters: {service.stats()['tenants']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.validation import unknown_name_error
 from repro.gpu.specs import TITAN_X
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
@@ -104,8 +105,7 @@ def get_solver_spec(name: str) -> SolverSpec:
     try:
         return _REGISTRY[canonical]
     except KeyError:
-        known = sorted(set(_REGISTRY) | set(_ALIASES))
-        raise ValueError(f"unknown solver {name!r}; registered solvers: {known}") from None
+        raise unknown_name_error("solver", name, set(_REGISTRY) | set(_ALIASES)) from None
 
 
 def make_solver(spec, /, **kwargs) -> "Solver":

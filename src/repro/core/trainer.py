@@ -204,7 +204,13 @@ class CuMF:
             backend = ServingCluster.from_result(
                 result, config.replicas, router=config.router, log=log, **store_kwargs
             )
-        return RecommenderService(backend, registry=registry, log=log, ratings=config.ratings)
+        return RecommenderService(
+            backend,
+            registry=registry,
+            log=log,
+            ratings=config.ratings,
+            policies=config.tenant_table(),
+        )
 
     def export_store(self, machine: MultiGPUMachine | None = None, n_shards: int | None = None, **kwargs):
         """Deprecated: snapshot the fitted factors into a :class:`FactorStore`.

@@ -12,7 +12,9 @@ conformance suite regression-tests this across ``ALSConfig``,
 
 from __future__ import annotations
 
-__all__ = ["validate_hyperparameters"]
+from typing import Iterable
+
+__all__ = ["unknown_name_error", "validate_hyperparameters"]
 
 #: Canonical message per violation; keyed by field for the docs/tests.
 MESSAGES = {
@@ -29,6 +31,21 @@ MESSAGES = {
     "row_batch": "row_batch must be positive",
     "init_scale": "init_scale must be positive",
 }
+
+
+def unknown_name_error(kind: str, name: object, known: Iterable[str]) -> ValueError:
+    """The one unknown-registry-name error, identical for every registry.
+
+    Both declarative registries — solvers
+    (:mod:`repro.core.solver.registry`) and routers
+    (:mod:`repro.serving.routing`) — raise exactly this shape on an
+    unrecognised name, so callers can match ``unknown solver`` /
+    ``unknown router`` without caring which registry rejected it::
+
+        unknown solver 'mos'; choose from ['base', 'ccd++', ...]
+        unknown router 'rand'; choose from ['least-loaded', 'll', ...]
+    """
+    return ValueError(f"unknown {kind} {name!r}; choose from {sorted(known)}")
 
 
 def validate_hyperparameters(

@@ -41,6 +41,17 @@ package is that missing online half:
   (predict / recommend / rate) from the admin plane (fold-in, refresh,
   snapshot, rollout, rollback, drain/restore) — built in one call with
   :meth:`CuMF.serve`.
+* :mod:`~repro.serving.routing` — routing policies as a registry: the
+  runtime-checkable :class:`Router` protocol, the built-in policies
+  (round-robin / least-loaded / power-of-two-choices), and
+  :func:`register_router` / :func:`make_router` mirroring the solver
+  registry, so custom policies work everywhere a name is accepted.
+* :mod:`~repro.serving.tenancy` — multi-tenant SLO serving: per-tenant
+  :class:`TenantPolicy` (weight, priority, rate cap, ``deadline_ms``,
+  reduced-``k`` degrade), a token-bucket + weighted-fair-queueing
+  :class:`TenantScheduler` in front of the router, overload shedding
+  with typed ``shed``/``degraded`` envelopes, and per-tenant
+  :class:`TenantReport` s on :class:`TrafficReport.per_tenant`.
 """
 
 from repro.serving.cluster import (
@@ -61,8 +72,16 @@ from repro.serving.lifecycle import (
     merged_ratings,
     refresh_factors,
 )
+from repro.serving.routing import (
+    RouterSpec,
+    get_router_spec,
+    register_router,
+    router_catalogue,
+    router_names,
+)
 from repro.serving.service import (
     SERVICE_DEFAULT,
+    STATUSES,
     PredictRequest,
     RateRequest,
     RecommendRequest,
@@ -70,12 +89,21 @@ from repro.serving.service import (
     ServeResponse,
     ServingBackend,
     ServingConfig,
+    ShedError,
 )
 from repro.serving.simulator import LifecycleEvent, QueryTrace, RequestSimulator, TrafficReport
 from repro.serving.store import FactorStore, ServingStats
+from repro.serving.tenancy import (
+    TenantPolicy,
+    TenantPolicyTable,
+    TenantReport,
+    TenantScheduler,
+    build_tenant_reports,
+)
 
 __all__ = [
     "SERVICE_DEFAULT",
+    "STATUSES",
     "PredictRequest",
     "RateRequest",
     "RecommendRequest",
@@ -83,14 +111,25 @@ __all__ = [
     "ServeResponse",
     "ServingBackend",
     "ServingConfig",
+    "ShedError",
     "FactorStore",
     "ServingStats",
     "ServingCluster",
     "Router",
+    "RouterSpec",
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "PowerOfTwoRouter",
     "make_router",
+    "register_router",
+    "get_router_spec",
+    "router_names",
+    "router_catalogue",
+    "TenantPolicy",
+    "TenantPolicyTable",
+    "TenantScheduler",
+    "TenantReport",
+    "build_tenant_reports",
     "fold_in_user",
     "fold_in_users",
     "validate_ratings",

@@ -5,16 +5,11 @@ machine; a production tier scales *reads* by replication.  A
 :class:`ServingCluster` holds R replicas of one snapshot — each produced
 by :meth:`FactorStore.replicate`, i.e. an identical model on its own
 independent simulated machine — and routes every batched top-k call
-through a pluggable :class:`Router`:
-
-* :class:`RoundRobinRouter` — cycles through replicas, load-blind;
-* :class:`LeastLoadedRouter` — always the replica with the least
-  outstanding work (the omniscient baseline a centralized balancer can
-  afford at this scale);
-* :class:`PowerOfTwoRouter` — samples two replicas and takes the less
-  loaded one, the classic "power of two choices" policy whose queue
-  tails are exponentially better than random/blind assignment while
-  probing only two replicas per decision.
+through a pluggable :class:`~repro.serving.routing.Router` policy.
+Policies live in :mod:`repro.serving.routing` (round-robin /
+least-loaded / power-of-two out of the box) and new ones join via
+:func:`~repro.serving.routing.register_router` without touching this
+module; the classes are re-exported here for compatibility.
 
 Writes do not scale by replication, so cold-start fold-ins are
 *write-through*: :meth:`ServingCluster.fold_in` applies the same solve
@@ -35,6 +30,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.serving.routing import (
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+    select_replica,
+)
 from repro.serving.store import FactorStore
 
 __all__ = [
@@ -46,100 +49,6 @@ __all__ = [
     "make_router",
     "select_replica",
 ]
-
-
-class Router:
-    """Picks the replica that serves the next batch.
-
-    ``select`` receives one non-negative load figure per replica —
-    outstanding simulated work under the traffic simulator, cumulative
-    serving seconds when routing direct calls — and returns a replica
-    index.  Routers may keep state (round-robin position, RNG); ``reset``
-    returns them to their initial state so a router can be reused across
-    runs deterministically.
-    """
-
-    name = "router"
-
-    def select(self, loads: Sequence[float]) -> int:
-        """Replica index for the next batch given per-replica loads."""
-        raise NotImplementedError
-
-    def reset(self) -> None:
-        """Restore the initial routing state (default: stateless no-op)."""
-
-
-class RoundRobinRouter(Router):
-    """Cycle through replicas in order, ignoring load."""
-
-    name = "round-robin"
-
-    def __init__(self):
-        self._next = 0
-
-    def select(self, loads: Sequence[float]) -> int:
-        choice = self._next % len(loads)
-        self._next += 1
-        return choice
-
-    def reset(self) -> None:
-        self._next = 0
-
-
-class LeastLoadedRouter(Router):
-    """Always the replica with the least outstanding work (ties: lowest id)."""
-
-    name = "least-loaded"
-
-    def select(self, loads: Sequence[float]) -> int:
-        return int(np.argmin(loads))
-
-
-class PowerOfTwoRouter(Router):
-    """Sample two distinct replicas, send the batch to the less loaded one."""
-
-    name = "power-of-two"
-
-    def __init__(self, seed: int = 0):
-        self.seed = seed
-        self._rng = np.random.default_rng(seed)
-
-    def select(self, loads: Sequence[float]) -> int:
-        if len(loads) == 1:
-            return 0
-        a, b = self._rng.choice(len(loads), size=2, replace=False)
-        return int(a if loads[a] <= loads[b] else b)
-
-    def reset(self) -> None:
-        self._rng = np.random.default_rng(self.seed)
-
-
-_ROUTERS = {
-    RoundRobinRouter.name: RoundRobinRouter,
-    LeastLoadedRouter.name: LeastLoadedRouter,
-    PowerOfTwoRouter.name: PowerOfTwoRouter,
-}
-
-
-def make_router(router: Router | str) -> Router:
-    """Coerce a policy name (or pass through a :class:`Router` instance)."""
-    if isinstance(router, Router):
-        return router
-    try:
-        return _ROUTERS[router]()
-    except KeyError:
-        raise ValueError(
-            f"unknown router {router!r}; choose from {sorted(_ROUTERS)} "
-            f"or pass a Router instance"
-        ) from None
-
-
-def select_replica(router: Router, loads: Sequence[float]) -> int:
-    """One routing decision, with the returned index validated in range."""
-    choice = router.select(loads)
-    if not 0 <= choice < len(loads):
-        raise ValueError(f"router returned replica {choice} for {len(loads)} replicas")
-    return choice
 
 
 class ServingCluster:

@@ -17,16 +17,19 @@
 from repro.serving.service.config import ServingConfig
 from repro.serving.service.envelopes import (
     SERVICE_DEFAULT,
+    STATUSES,
     PredictRequest,
     RateRequest,
     RecommendRequest,
     ServeResponse,
+    ShedError,
 )
 from repro.serving.service.facade import RecommenderService
 from repro.serving.service.protocol import ServingBackend
 
 __all__ = [
     "SERVICE_DEFAULT",
+    "STATUSES",
     "PredictRequest",
     "RateRequest",
     "RecommendRequest",
@@ -34,4 +37,5 @@ __all__ = [
     "ServeResponse",
     "ServingBackend",
     "ServingConfig",
+    "ShedError",
 ]

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.serving.cluster import Router, make_router
 from repro.serving.lifecycle.log import InteractionLog
+from repro.serving.tenancy import TenantPolicy, TenantPolicyTable
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["ServingConfig"]
@@ -37,10 +38,12 @@ class ServingConfig:
         :class:`~repro.serving.cluster.ServingCluster` of independent
         replicas behind ``router``.
     router:
-        Routing policy for a replicated deployment — a policy name
-        (``"round-robin"`` / ``"least-loaded"`` / ``"power-of-two"``) or
-        a :class:`~repro.serving.cluster.Router` instance.  Ignored when
-        ``replicas == 1``.
+        Routing policy for a replicated deployment — a registered policy
+        name or alias (see :func:`~repro.serving.routing.router_names`),
+        a ``{"name": ..., **kwargs}`` dict, or a
+        :class:`~repro.serving.routing.Router` instance.  Custom
+        policies added with :func:`~repro.serving.routing.register_router`
+        work here by name.  Ignored when ``replicas == 1``.
     n_shards:
         Θ shards (simulated devices) per serving unit; ``None`` keeps
         the store default of one.
@@ -65,10 +68,18 @@ class ServingConfig:
         The ratings matrix the model was trained on.  Used as the
         default seen-item exclusion for recommendations and as the base
         matrix of the first :meth:`RecommenderService.refresh`.
+    tenants:
+        Optional tenant policies — anything
+        :meth:`~repro.serving.tenancy.TenantPolicyTable.coerce` accepts
+        (a sequence of :class:`~repro.serving.tenancy.TenantPolicy`, a
+        single policy, or a prebuilt table).  When set, the service
+        enforces per-tenant rate caps on its data plane and runs the
+        weighted-fair scheduled replay for tenant-labelled traces.
+        ``None`` (default) serves single-tenant with zero overhead.
     """
 
     replicas: int = 1
-    router: Router | str = "least-loaded"
+    router: Router | str | dict = "least-loaded"
     n_shards: int | None = None
     score_dtype: type = np.float32
     log: InteractionLog | bool = True
@@ -76,6 +87,7 @@ class ServingConfig:
     registry_keep: int | None = None
     tag: str = ""
     ratings: CSRMatrix | None = field(default=None, repr=False)
+    tenants: "TenantPolicyTable | TenantPolicy | tuple | list | None" = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -90,6 +102,12 @@ class ServingConfig:
         # time; a Router instance passes through untouched.
         if not isinstance(self.router, Router):
             make_router(self.router)
+        # Same principle for tenant policies: a malformed table fails here.
+        TenantPolicyTable.coerce(self.tenants)
+
+    def tenant_table(self) -> TenantPolicyTable | None:
+        """The coerced tenant policy table (``None`` when unconfigured)."""
+        return TenantPolicyTable.coerce(self.tenants)
 
     def make_log(self) -> InteractionLog | None:
         """The interaction log this config asks for (``None`` when off)."""

@@ -14,6 +14,15 @@ Backend errors are *captured*, not propagated: a bad user id or a
 ``k < 1`` still fails with the exact same message on every backend (the
 protocol suite pins that), but the service wraps it as
 ``status="error"`` so one request cannot take down a serving loop.
+
+Multi-tenant serving widens the vocabulary without breaking old
+callers: requests carry a ``tenant`` id (``"default"`` when unset) and
+an optional ``priority`` override, and a response's ``status`` is one
+of :data:`STATUSES` — ``"ok"``, ``"error"``, ``"shed"`` (rejected by
+the tenant's rate cap or deadline, carried as a typed envelope rather
+than an unbounded queue), or ``"degraded"`` (served with the policy's
+reduced ``k``).  ``shed`` raises :class:`ShedError` from
+:meth:`~ServeResponse.raise_for_status`; ``degraded`` counts as served.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ import numpy as np
 
 __all__ = [
     "SERVICE_DEFAULT",
+    "STATUSES",
+    "ShedError",
     "PredictRequest",
     "RecommendRequest",
     "RateRequest",
@@ -36,6 +47,20 @@ __all__ = [
 #: ("no exclusion for this request").
 SERVICE_DEFAULT: Any = "service-default"
 
+#: The full response-status vocabulary.
+STATUSES = ("ok", "error", "shed", "degraded")
+
+#: Tenant id attached to requests that do not name one.
+_DEFAULT_TENANT = "default"
+
+
+class ShedError(RuntimeError):
+    """A request was rejected by tenant admission (rate cap or SLO deadline).
+
+    Distinct from a backend error: the model never saw the request.  The
+    right client reaction is back-off/retry, not a bug report.
+    """
+
 
 @dataclass(frozen=True)
 class PredictRequest:
@@ -43,6 +68,8 @@ class PredictRequest:
 
     users: np.ndarray
     items: np.ndarray
+    tenant: str = _DEFAULT_TENANT
+    priority: int | None = None
 
 
 @dataclass(frozen=True)
@@ -59,6 +86,8 @@ class RecommendRequest:
     k: int = 10
     user_block: int = 512
     exclude: Any = SERVICE_DEFAULT
+    tenant: str = _DEFAULT_TENANT
+    priority: int | None = None
 
 
 @dataclass(frozen=True)
@@ -73,6 +102,8 @@ class RateRequest:
     user: int
     items: np.ndarray
     ratings: np.ndarray
+    tenant: str = _DEFAULT_TENANT
+    priority: int | None = None
 
 
 @dataclass(frozen=True)
@@ -82,10 +113,12 @@ class ServeResponse:
     ``kind`` names the request type (``"predict"`` / ``"recommend"`` /
     ``"rate"``), ``payload`` carries its result (predictions array,
     per-user recommendation lists, or the number of events logged) and
-    is ``None`` on error.  ``latency_s`` is the simulated serving time
-    the request consumed, ``version`` the model version that answered,
-    and ``replica`` the serving unit that took the call (``-1`` when no
-    unit was involved, e.g. a logged rating or a rejected request).
+    is ``None`` on error or shed.  ``latency_s`` is the simulated
+    serving time the request consumed, ``version`` the model version
+    that answered, ``replica`` the serving unit that took the call
+    (``-1`` when no unit was involved, e.g. a logged rating or a
+    rejected request), and ``tenant`` echoes the requesting tenant so
+    per-tenant accounting works off responses alone.
     """
 
     kind: str
@@ -96,20 +129,35 @@ class ServeResponse:
     replica: int = -1
     error: str = ""
     error_type: str = field(default="", repr=False)
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown response status {self.status!r}; choose from {sorted(STATUSES)}")
 
     @property
     def ok(self) -> bool:
-        """Whether the request was served (``status == "ok"``)."""
+        """Whether the request was served at full quality (``status == "ok"``)."""
         return self.status == "ok"
 
-    def raise_for_status(self) -> "ServeResponse":
-        """Re-raise an error envelope as the exception the backend raised.
+    @property
+    def served(self) -> bool:
+        """Whether a payload was produced (``"ok"`` or ``"degraded"``)."""
+        return self.status in ("ok", "degraded")
 
-        Returns ``self`` on success, so data-plane calls chain:
-        ``service.recommend(...).raise_for_status().payload``.
+    def raise_for_status(self) -> "ServeResponse":
+        """Re-raise a non-served envelope as its originating exception.
+
+        Returns ``self`` on ``"ok"`` *and* ``"degraded"`` (a degraded
+        answer is still an answer), so data-plane calls chain:
+        ``service.recommend(...).raise_for_status().payload``.  A
+        ``"shed"`` envelope raises :class:`ShedError`; an ``"error"``
+        envelope raises the exception type the backend originally threw.
         """
-        if self.ok:
+        if self.served:
             return self
+        if self.status == "shed":
+            raise ShedError(self.error or f"request shed for tenant {self.tenant or _DEFAULT_TENANT!r}")
         exc_type = _ERROR_TYPES.get(self.error_type, RuntimeError)
         raise exc_type(self.error)
 
@@ -117,4 +165,5 @@ class ServeResponse:
 _ERROR_TYPES: dict[str, type[Exception]] = {
     "ValueError": ValueError,
     "RuntimeError": RuntimeError,
+    "ShedError": ShedError,
 }

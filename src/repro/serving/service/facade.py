@@ -40,6 +40,7 @@ from repro.serving.service.envelopes import (
     RecommendRequest,
     ServeResponse,
 )
+from repro.serving.tenancy import TenantPolicyTable, TenantScheduler
 from repro.sparse.csr import CSRMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
@@ -76,6 +77,15 @@ class RecommenderService:
         merged matrix once the refreshed model is actually deployed
         (immediately without a registry, at :meth:`rollout` time with
         one), so the exclusion always matches the served item axis.
+    policies:
+        Optional tenant policy table (anything
+        :meth:`~repro.serving.tenancy.TenantPolicyTable.coerce`
+        accepts).  When set, the data plane enforces each tenant's rate
+        cap at admission — over-cap calls return typed ``shed``
+        envelopes (or ``degraded`` reduced-``k`` answers when the policy
+        allows) instead of serving — and :meth:`simulate` runs the
+        scheduled weighted-fair replay for tenant-labelled traces.
+        ``None`` keeps the service single-tenant with zero overhead.
     """
 
     def __init__(
@@ -85,6 +95,7 @@ class RecommenderService:
         registry: SnapshotRegistry | None = None,
         log: "InteractionLog | None" = None,
         ratings: CSRMatrix | None = None,
+        policies: TenantPolicyTable | None = None,
     ):
         self.backend = backend
         self.registry = registry
@@ -101,6 +112,9 @@ class RecommenderService:
         self._pending: tuple[int, CSRMatrix] | None = None
         self._counters = {"predict": 0, "recommend": 0, "rate": 0}
         self._n_errors = 0
+        self.policies = TenantPolicyTable.coerce(policies)
+        self._scheduler = TenantScheduler(self.policies) if self.policies is not None else None
+        self._tenant_counters: dict[str, dict[str, int]] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -127,39 +141,81 @@ class RecommenderService:
         return [unit.version for unit in self.backend.serving_units()]
 
     def stats(self) -> dict:
-        """Service counters merged over the backend's own stats."""
+        """Service counters merged over the backend's own stats.
+
+        With a policy table configured, ``stats()["tenants"]`` holds one
+        ``{"ok", "degraded", "shed", "error"}`` counter dict per tenant
+        that has called the data plane.
+        """
         stats = dict(self.backend.stats_dict())
         stats["requests"] = dict(self._counters)
         stats["request_errors"] = self._n_errors
+        if self._tenant_counters:
+            stats["tenants"] = {name: dict(c) for name, c in self._tenant_counters.items()}
         return stats
 
     # ------------------------------------------------------------------ #
     # data plane: typed envelopes in, ServeResponse out
     # ------------------------------------------------------------------ #
-    def _error(self, kind: str, exc: Exception, replica: int = -1) -> ServeResponse:
+    def _count_tenant(self, tenant: str, outcome: str) -> None:
+        if self._scheduler is None:
+            return
+        counters = self._tenant_counters.setdefault(
+            tenant, {"ok": 0, "degraded": 0, "shed": 0, "error": 0}
+        )
+        counters[outcome] += 1
+
+    def _error(self, kind: str, exc: Exception, replica: int = -1, tenant: str = "") -> ServeResponse:
         self._n_errors += 1
+        self._count_tenant(tenant or "default", "error")
         return ServeResponse(
             kind=kind,
             status="error",
             replica=replica,
             error=str(exc),
             error_type=type(exc).__name__,
+            tenant=tenant,
         )
 
-    def predict(self, users: Any, items: np.ndarray | None = None) -> ServeResponse:
+    def _shed(self, kind: str, tenant: str) -> ServeResponse:
+        """The typed rejection: the model never sees an over-cap request."""
+        self._count_tenant(tenant, "shed")
+        return ServeResponse(
+            kind=kind,
+            status="shed",
+            error=f"tenant {tenant!r} over rate cap",
+            error_type="ShedError",
+            tenant=tenant,
+        )
+
+    def _admission_clock(self) -> float:
+        """Admission time on the backend's simulated-seconds timeline."""
+        loads = self.backend.loads()
+        return max(loads) if loads else 0.0
+
+    def predict(
+        self, users: Any, items: np.ndarray | None = None, *, tenant: str = "default"
+    ) -> ServeResponse:
         """Score (user, item) pairs; replica-independent, so no routing.
 
         Accepts a :class:`PredictRequest` or plain aligned index arrays.
+        With tenancy configured, an over-cap tenant is shed — prediction
+        has no reduced-``k`` degrade knob, so the cap is hard here.
         """
-        request = users if isinstance(users, PredictRequest) else PredictRequest(users, items)
+        request = users if isinstance(users, PredictRequest) else PredictRequest(users, items, tenant=tenant)
+        if self._scheduler is not None:
+            decision, _ = self._scheduler.admit(request.tenant, self._admission_clock())
+            if decision != "ok":
+                return self._shed("predict", request.tenant)
         replica = self.backend.active_indices()[0]
         unit = self.backend.serving_units()[replica]
         before = unit.stats.simulated_seconds
         try:
             payload = unit.predict(request.users, request.items)
         except (ValueError, RuntimeError) as exc:
-            return self._error("predict", exc)
+            return self._error("predict", exc, tenant=request.tenant)
         self._counters["predict"] += 1
+        self._count_tenant(request.tenant, "ok")
         return ServeResponse(
             kind="predict",
             status="ok",
@@ -167,6 +223,7 @@ class RecommenderService:
             latency_s=unit.stats.simulated_seconds - before,
             version=unit.version,
             replica=replica,
+            tenant=request.tenant,
         )
 
     def recommend(
@@ -176,6 +233,7 @@ class RecommenderService:
         *,
         user_block: int = 512,
         exclude: Any = SERVICE_DEFAULT,
+        tenant: str = "default",
     ) -> ServeResponse:
         """Top-``k`` for one user or a batch, routed through the backend.
 
@@ -183,34 +241,52 @@ class RecommenderService:
         payload is always one ``[(item, score), ...]`` list per user.
         ``exclude`` defaults to the service's ratings matrix; pass
         ``None`` to disable exclusion for this request.
+
+        With tenancy configured, admission runs first: an over-cap
+        tenant whose policy has a ``degrade_k`` is served at that
+        reduced ``k`` with ``status="degraded"``; otherwise the call
+        returns a typed ``shed`` envelope without consuming a routing
+        slot.
         """
         if isinstance(users, RecommendRequest):
             request = users
         else:
-            request = RecommendRequest(users, k=k, user_block=user_block, exclude=exclude)
+            request = RecommendRequest(users, k=k, user_block=user_block, exclude=exclude, tenant=tenant)
         mask = self.ratings if request.exclude is SERVICE_DEFAULT else request.exclude
         # Same invariant as the cluster path: a request rejected for a bad
         # k never consumes a routing slot (identical message included).
         if request.k <= 0:
-            return self._error("recommend", ValueError("k must be >= 1"))
+            return self._error("recommend", ValueError("k must be >= 1"), tenant=request.tenant)
+        k_eff = request.k
+        status = "ok"
+        if self._scheduler is not None:
+            decision, policy = self._scheduler.admit(request.tenant, self._admission_clock())
+            if decision == "shed":
+                return self._shed("recommend", request.tenant)
+            if decision == "degraded":
+                k_eff = min(request.k, policy.degrade_k or request.k)
+                if k_eff != request.k:
+                    status = "degraded"
         replica = self.backend.route()
         unit = self.backend.serving_units()[replica]
         before = unit.stats.simulated_seconds
         try:
             batch = np.atleast_1d(np.asarray(request.users))
             payload = unit.recommend_batch(
-                batch, k=request.k, exclude=mask, user_block=request.user_block
+                batch, k=k_eff, exclude=mask, user_block=request.user_block
             )
         except (ValueError, RuntimeError) as exc:
-            return self._error("recommend", exc, replica=replica)
+            return self._error("recommend", exc, replica=replica, tenant=request.tenant)
         self._counters["recommend"] += 1
+        self._count_tenant(request.tenant, status)
         return ServeResponse(
             kind="recommend",
-            status="ok",
+            status=status,
             payload=payload,
             latency_s=unit.stats.simulated_seconds - before,
             version=unit.version,
             replica=replica,
+            tenant=request.tenant,
         )
 
     def rate(
@@ -218,6 +294,8 @@ class RecommenderService:
         user: Any,
         items: np.ndarray | None = None,
         ratings: np.ndarray | None = None,
+        *,
+        tenant: str = "default",
     ) -> ServeResponse:
         """Log feedback from a known user for the next refresh.
 
@@ -225,9 +303,10 @@ class RecommenderService:
         is the number of events recorded.  Item ids may exceed the
         served catalogue (first ratings of brand-new items); the user id
         must be servable — cold-start users enter through the admin
-        plane's :meth:`fold_in`.
+        plane's :meth:`fold_in`.  Logging consumes no serving capacity,
+        so rate calls are never rate-capped or shed.
         """
-        request = user if isinstance(user, RateRequest) else RateRequest(user, items, ratings)
+        request = user if isinstance(user, RateRequest) else RateRequest(user, items, ratings, tenant=tenant)
         try:
             if self.log is None:
                 raise RuntimeError("service has no interaction log; serve with ServingConfig(log=True)")
@@ -240,10 +319,11 @@ class RecommenderService:
                     )
             n_events = self.log.record(request.user, request.items, request.ratings)
         except (ValueError, RuntimeError) as exc:
-            return self._error("rate", exc)
+            return self._error("rate", exc, tenant=request.tenant)
         self._counters["rate"] += 1
+        self._count_tenant(request.tenant, "ok")
         version = self.backend.serving_units()[0].version
-        return ServeResponse(kind="rate", status="ok", payload=n_events, version=version)
+        return ServeResponse(kind="rate", status="ok", payload=n_events, version=version, tenant=request.tenant)
 
     # ------------------------------------------------------------------ #
     # admin plane: operator verbs, which raise on misuse
@@ -403,6 +483,7 @@ class RecommenderService:
         max_batch: int = 256,
         window_s: float = 0.02,
         exclude: Any = SERVICE_DEFAULT,
+        max_pending: int | None = None,
     ) -> "TrafficReport":
         """Replay a query trace through the backend.
 
@@ -410,12 +491,24 @@ class RecommenderService:
         ``None`` to replay without exclusion — necessary when the trace
         carries a rollout whose *target* grew the item axis, since the
         merged matrix only matches the new model's item count.
+
+        The service's tenant policies (if any) ride along: a
+        tenant-labelled trace then runs the scheduled weighted-fair
+        replay with cap enforcement and overload shedding, bounded by
+        ``max_pending`` queued requests (see
+        :class:`~repro.serving.simulator.RequestSimulator`).
         """
         from repro.serving.simulator import RequestSimulator
 
         mask = self.ratings if exclude is SERVICE_DEFAULT else exclude
         sim = RequestSimulator(
-            self.backend, k=k, exclude=mask, max_batch=max_batch, window_s=window_s
+            self.backend,
+            k=k,
+            exclude=mask,
+            max_batch=max_batch,
+            window_s=window_s,
+            policies=self.policies,
+            max_pending=max_pending,
         )
         return sim.run(trace, events=events)
 

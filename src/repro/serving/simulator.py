@@ -10,17 +10,44 @@ simulated-seconds timeline: arrivals come from the trace, service times
 from the store's per-device kernel estimates, so the report shows the
 throughput/latency trade-off of the batching window on the simulated
 hardware.
+
+Traces may additionally be *tenant-labelled* (``QueryTrace.tenants``,
+built with :meth:`QueryTrace.multi_tenant` / :meth:`QueryTrace.merge`).
+When the simulator is also given a
+:class:`~repro.serving.tenancy.TenantPolicyTable`, the replay runs a
+scheduled admission stage in front of the router: per-tenant token
+buckets enforce rate caps, a start-time weighted-fair-queueing clock
+orders dispatch so backlogged tenants share capacity by weight, and
+overload is *shed* (deadline blown, cap exceeded, queue overflow) or
+*degraded* (reduced-``k``) per policy instead of queueing unboundedly.
+Outcomes land in :class:`TrafficReport.per_tenant` as one
+:class:`~repro.serving.tenancy.TenantReport` per tenant.  Without a
+policy table the original unscheduled loop runs untouched — tenancy is
+zero-cost when unconfigured.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.datasets.synthetic import powerlaw_weights
+from repro.serving.tenancy import (
+    DEFAULT_TENANT,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_SHED_CAP,
+    STATUS_SHED_DEADLINE,
+    STATUS_SHED_QUEUE,
+    TenantPolicyTable,
+    TenantScheduler,
+    build_tenant_reports,
+)
 from repro.sparse.csr import CSRMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
@@ -54,11 +81,19 @@ class LifecycleEvent:
 
 @dataclass(frozen=True)
 class QueryTrace:
-    """A pre-generated stream of queries: arrival times plus user ids."""
+    """A pre-generated stream of queries: arrival times plus user ids.
+
+    ``tenants`` optionally labels every query with the tenant that sent
+    it; unlabelled traces behave exactly as before.  Single-tenant
+    streams come from :meth:`poisson`/:meth:`bursty` with ``tenant=...``,
+    mixed workloads from :meth:`multi_tenant` or by :meth:`merge`-ing
+    per-tenant streams (e.g. a bursty aggressor over a steady baseline).
+    """
 
     arrivals: np.ndarray
     users: np.ndarray
     label: str = "trace"
+    tenants: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         arrivals = np.asarray(self.arrivals, dtype=np.float64)
@@ -69,6 +104,13 @@ class QueryTrace:
             raise ValueError("arrivals must be non-decreasing")
         object.__setattr__(self, "arrivals", arrivals)
         object.__setattr__(self, "users", users)
+        if self.tenants is not None:
+            tenants = np.asarray(self.tenants)
+            if tenants.dtype.kind != "U":
+                tenants = tenants.astype(np.str_)
+            if tenants.shape != arrivals.shape:
+                raise ValueError("tenants must align with arrivals")
+            object.__setattr__(self, "tenants", tenants)
 
     @property
     def n_requests(self) -> int:
@@ -96,6 +138,7 @@ class QueryTrace:
         n_users: int,
         seed: int = 0,
         user_exponent: float = 0.8,
+        tenant: str | None = None,
     ) -> "QueryTrace":
         """Poisson arrivals at ``rate_qps`` with power-law user popularity."""
         if n_requests <= 0 or rate_qps <= 0 or n_users <= 0:
@@ -103,7 +146,8 @@ class QueryTrace:
         rng = np.random.default_rng(seed)
         arrivals = np.cumsum(rng.exponential(1.0 / rate_qps, size=n_requests))
         users = cls._sample_users(n_requests, n_users, rng, user_exponent)
-        return cls(arrivals, users, label=f"poisson@{rate_qps:g}qps")
+        tenants = None if tenant is None else np.full(n_requests, tenant)
+        return cls(arrivals, users, label=f"poisson@{rate_qps:g}qps", tenants=tenants)
 
     @classmethod
     def bursty(
@@ -116,6 +160,7 @@ class QueryTrace:
         burst_len_s: float = 0.2,
         seed: int = 0,
         user_exponent: float = 0.8,
+        tenant: str | None = None,
     ) -> "QueryTrace":
         """On/off traffic: ``base_qps`` with periodic bursts of ``burst_qps``."""
         if min(n_requests, base_qps, burst_qps, n_users) <= 0:
@@ -151,7 +196,63 @@ class QueryTrace:
                     offset = quiet_len
             arrivals[i] = period * burst_every_s + offset
         users = cls._sample_users(n_requests, n_users, rng, user_exponent)
-        return cls(arrivals, users, label=f"bursty@{base_qps:g}/{burst_qps:g}qps")
+        tenants = None if tenant is None else np.full(n_requests, tenant)
+        return cls(arrivals, users, label=f"bursty@{base_qps:g}/{burst_qps:g}qps", tenants=tenants)
+
+    @classmethod
+    def merge(cls, *traces: "QueryTrace", label: str = "merged") -> "QueryTrace":
+        """Interleave traces by arrival time into one tenant-labelled stream.
+
+        Queries from unlabelled input traces get the ``"default"``
+        tenant; the stable sort keeps same-instant arrivals in input
+        order, so merged replays are deterministic.
+        """
+        if not traces:
+            raise ValueError("merge needs at least one trace")
+        arrivals = np.concatenate([t.arrivals for t in traces])
+        users = np.concatenate([t.users for t in traces])
+        tenants = np.concatenate(
+            [
+                t.tenants if t.tenants is not None else np.full(t.n_requests, DEFAULT_TENANT)
+                for t in traces
+            ]
+        )
+        order = np.argsort(arrivals, kind="stable")
+        return cls(arrivals[order], users[order], label=label, tenants=tenants[order])
+
+    @classmethod
+    def multi_tenant(
+        cls,
+        rates_qps: Mapping[str, float],
+        duration_s: float,
+        n_users: int,
+        seed: int = 0,
+        user_exponent: float = 0.8,
+    ) -> "QueryTrace":
+        """Independent per-tenant Poisson streams over ``duration_s``, merged.
+
+        ``rates_qps`` maps tenant name to offered load; each tenant gets
+        its own RNG stream (derived from ``seed``), so adding a tenant
+        does not perturb the others' arrivals.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not rates_qps:
+            raise ValueError("rates_qps must name at least one tenant")
+        streams = []
+        for offset, (tenant, rate) in enumerate(sorted(rates_qps.items())):
+            if rate <= 0:
+                raise ValueError(f"rate for tenant {tenant!r} must be positive")
+            rng = np.random.default_rng(seed + offset)
+            # Draw past the horizon, then truncate: 1.5x the expected
+            # count (plus slack) makes undershoot vanishingly unlikely.
+            n_draw = int(rate * duration_s * 1.5) + 16
+            arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n_draw))
+            arrivals = arrivals[arrivals <= duration_s]
+            users = cls._sample_users(arrivals.size, n_users, rng, user_exponent)
+            streams.append(cls(arrivals, users, label=tenant, tenants=np.full(arrivals.size, tenant)))
+        rates = "/".join(f"{rates_qps[name]:g}" for name in sorted(rates_qps))
+        return cls.merge(*streams, label=f"multi-tenant@{rates}qps")
 
 
 @dataclass(frozen=True)
@@ -170,6 +271,12 @@ class TrafficReport:
     ``window_p95_s`` is the latency p95 of the queries that arrived
     inside the event window — the rollout-degradation figure to compare
     against the steady-state p95.
+
+    Tenant-labelled replays additionally fill ``per_tenant`` (one
+    :class:`~repro.serving.tenancy.TenantReport` per tenant) and the
+    ``n_shed`` / ``n_degraded`` totals; aggregate percentiles and
+    throughput then cover *served* queries only, since a shed request
+    never consumed serving capacity.
     """
 
     label: str
@@ -193,6 +300,9 @@ class TrafficReport:
     n_events: int = 0
     window_queries: int = 0
     window_p95_s: float = 0.0
+    per_tenant: dict = field(default_factory=dict)
+    n_shed: int = 0
+    n_degraded: int = 0
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -223,6 +333,23 @@ class TrafficReport:
                 f"dropped {self.n_dropped}; "
                 f"window p95 {self.window_p95_s * 1e3:.2f} ms over {self.window_queries} queries"
             )
+        for name in sorted(self.per_tenant):
+            tenant = self.per_tenant[name]
+            line = (
+                f"\n  tenant {name}: {tenant.n_served}/{tenant.n_requests} served "
+                f"(share {tenant.share:.0%}), p95 {tenant.latency_p95_s * 1e3:.2f} ms"
+            )
+            if tenant.n_shed:
+                line += (
+                    f", shed {tenant.n_shed} "
+                    f"(cap {tenant.n_shed_cap}, deadline {tenant.n_shed_deadline}, "
+                    f"queue {tenant.n_shed_queue})"
+                )
+            if tenant.n_degraded:
+                line += f", degraded {tenant.n_degraded}"
+            if tenant.deadline_ms is not None:
+                line += f", SLO {tenant.deadline_ms:g} ms: {tenant.n_slo_violations} violations"
+            text += line
         return text
 
 
@@ -250,6 +377,18 @@ class RequestSimulator:
     window_s:
         A window also dispatches once this much (simulated) time passed
         since its first request arrived — the latency/throughput knob.
+    policies:
+        Optional tenant policy table (anything
+        :meth:`~repro.serving.tenancy.TenantPolicyTable.coerce` accepts).
+        Combined with a tenant-labelled trace it switches the replay to
+        the scheduled loop: token-bucket caps, WFQ dispatch order,
+        deadline shedding and reduced-``k`` degradation.  ``None`` keeps
+        the original unscheduled loop byte-for-byte.
+    max_pending:
+        Bound on the admitted-but-undispatched queue under the scheduled
+        loop.  On overflow the lowest-priority tenant's newest request
+        is shed (typed ``shed`` outcome) — the backpressure that keeps
+        an overloaded replay from queueing unboundedly.
     """
 
     def __init__(
@@ -259,16 +398,22 @@ class RequestSimulator:
         exclude: CSRMatrix | None = None,
         max_batch: int = 256,
         window_s: float = 0.02,
+        policies: TenantPolicyTable | None = None,
+        max_pending: int | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if window_s < 0:
             raise ValueError("window_s must be non-negative")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
         self.store = store
         self.k = k
         self.exclude = exclude
         self.max_batch = max_batch
         self.window_s = window_s
+        self.policies = TenantPolicyTable.coerce(policies)
+        self.max_pending = max_pending
 
     def run(self, trace: QueryTrace, events: Sequence[LifecycleEvent] = ()) -> TrafficReport:
         """Serve every query in the trace; returns the traffic report.
@@ -281,7 +426,13 @@ class RequestSimulator:
         the replay fast-forwards to the next event; with none left the
         remaining queries are *dropped* and counted in the report.
         Events scheduled past the last arrival fire when the trace ends.
+
+        A tenant-labelled trace plus a configured policy table runs the
+        scheduled loop instead (see the class docstring); either one
+        missing keeps the original fast path.
         """
+        if self.policies is not None and trace.tenants is not None:
+            return self._run_scheduled(trace, events)
         backend = self.store
         replicas = list(backend.serving_units())
         backend.reset_routing()
@@ -376,6 +527,13 @@ class RequestSimulator:
             window_queries = int(in_window.sum())
             if window_queries:
                 window_p95 = float(np.percentile(served[in_window], 95))
+        per_tenant: dict = {}
+        if trace.tenants is not None:
+            # Unscheduled replay of a labelled trace: everything served in
+            # arrival order, tail dropped — report it per tenant anyway.
+            status = np.zeros(n, dtype=np.int8)
+            status[:n_served] = STATUS_OK
+            per_tenant = build_tenant_reports(trace.tenants, status, latencies, makespan, self.policies)
         return TrafficReport(
             label=trace.label,
             n_requests=n,
@@ -400,4 +558,246 @@ class RequestSimulator:
             n_events=len(pending),
             window_queries=window_queries,
             window_p95_s=window_p95,
+            per_tenant=per_tenant,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scheduled replay: admission caps + WFQ dispatch + overload shedding
+    # ------------------------------------------------------------------ #
+    def _run_scheduled(self, trace: QueryTrace, events: Sequence[LifecycleEvent]) -> TrafficReport:
+        """The tenant-aware replay loop.
+
+        Same window mechanics as the fast path, with an admission stage
+        in between: arrivals pass their tenant's token bucket (fail →
+        ``shed`` immediately, or flagged for degraded service when the
+        policy has a ``degrade_k``), join a WFQ heap keyed by virtual
+        finish tags, and windows are filled in tag order instead of
+        arrival order — so a backlogged heavy tenant cannot starve a
+        light one.  At dispatch a request whose queueing delay exceeds
+        its deadline is shed; past ``degrade_after`` of the deadline it
+        is served at the policy's reduced ``k``.  For a single tenant
+        with a trivial policy, tag order degenerates to FIFO and this
+        loop reproduces the fast path's windows — and therefore its
+        aggregate report — exactly.
+        """
+        backend = self.store
+        table = self.policies
+        assert table is not None and trace.tenants is not None
+        scheduler = TenantScheduler(table)
+        replicas = list(backend.serving_units())
+        backend.reset_routing()
+        n_replicas = len(replicas)
+        arrivals, users, tenants = trace.arrivals, trace.users, trace.tenants
+        n = trace.n_requests
+        pending_events = sorted(events, key=lambda event: event.time)
+        next_event = 0
+        status = np.zeros(n, dtype=np.int8)
+        degraded = np.zeros(n, dtype=bool)
+        latencies = np.zeros(n, dtype=np.float64)
+        server_free = [0.0] * n_replicas
+        replica_busy = [0.0] * n_replicas
+        replica_queries = [0] * n_replicas
+        version_queries: dict[str, int] = {}
+        service_total = 0.0
+        n_batches = 0
+        heap: list[tuple[float, int]] = []  # (virtual finish tag, request idx)
+        fifo: deque[int] = deque()  # pending in arrival order, lazily cleaned
+        tenant_pending: dict[str, list[int]] = {}  # newest-last, for queue shed
+        tenant_backlog: dict[str, int] = {}  # live queued count per tenant
+        n_pending = 0
+        a = 0  # next arrival not yet through admission
+        wall_start = time.perf_counter()
+
+        def shed_overflow() -> int:
+            """Evict newest requests of the lowest-priority tenant; returns evictions."""
+            evicted = 0
+            while self.max_pending is not None and n_pending - evicted > self.max_pending:
+                candidates = []
+                for name, stack in tenant_pending.items():
+                    while stack and status[stack[-1]] != 0:
+                        stack.pop()
+                    if stack:
+                        candidates.append((table.policy_for(name).priority, name))
+                if not candidates:
+                    break
+                victim = min(candidates)[1]
+                idx = tenant_pending[victim].pop()
+                status[idx] = STATUS_SHED_QUEUE
+                tenant_backlog[victim] -= 1
+                evicted += 1
+            return evicted
+
+        while True:
+            # The next window starts at the earliest unresolved request:
+            # a backlogged admitted one, else the next arrival.
+            while fifo and status[fifo[0]] != 0:
+                fifo.popleft()
+            if fifo:
+                t0 = float(arrivals[fifo[0]])
+            elif a < n:
+                t0 = float(arrivals[a])
+            else:
+                break
+            while next_event < len(pending_events) and pending_events[next_event].time <= t0:
+                pending_events[next_event].action()
+                next_event += 1
+            active = backend.active_indices()
+            while not active and next_event < len(pending_events):
+                pending_events[next_event].action()
+                next_event += 1
+                active = backend.active_indices()
+            if not active:
+                break  # unresolved requests stay status 0 -> dropped
+            free_min = min(server_free[r] for r in active)
+            horizon = max(t0 + self.window_s, free_min)
+            # Admission: each arrival inside the window passes its token
+            # bucket at its own arrival time.  Cap overflow sheds on the
+            # spot (or marks for degraded service), so a tenant hammering
+            # past its cap never occupies queue space.  A full per-tenant
+            # flow buffer (``queue_limit``) tail-drops before stamping —
+            # bounding the backlog is what keeps a flooding tenant's
+            # finish tags near the virtual clock, so the weighted
+            # interleave holds under sustained overload.
+            while a < n and arrivals[a] <= horizon:
+                tenant = str(tenants[a])
+                policy = table.policy_for(tenant)
+                limit = policy.queue_limit
+                if limit is not None and tenant_backlog.get(tenant, 0) >= limit:
+                    status[a] = STATUS_SHED_QUEUE
+                    a += 1
+                    continue
+                if not scheduler.try_acquire(tenant, float(arrivals[a])):
+                    if policy.degrade_k is None:
+                        status[a] = STATUS_SHED_CAP
+                        a += 1
+                        continue
+                    degraded[a] = True
+                heapq.heappush(heap, (scheduler.stamp(tenant), a))
+                fifo.append(a)
+                tenant_pending.setdefault(tenant, []).append(a)
+                tenant_backlog[tenant] = tenant_backlog.get(tenant, 0) + 1
+                n_pending += 1
+                a += 1
+            n_pending -= shed_overflow()
+            # Fill the window in virtual-tag order — the weighted-fair
+            # interleave — applying each request's overload action at the
+            # moment it would dispatch.
+            batch: list[int] = []
+            selected: list[tuple[float, int]] = []
+            while heap and len(batch) < self.max_batch:
+                tag, idx = heapq.heappop(heap)
+                if status[idx] != 0:
+                    continue
+                tenant = str(tenants[idx])
+                policy = table.policy_for(tenant)
+                action = scheduler.overload_action(policy, horizon - float(arrivals[idx]))
+                scheduler.advance(tag)
+                if action == "shed":
+                    status[idx] = STATUS_SHED_DEADLINE
+                    tenant_backlog[tenant] -= 1
+                    n_pending -= 1
+                    continue
+                if action == "degraded":
+                    degraded[idx] = True
+                batch.append(idx)
+                selected.append((tag, idx))
+            if not batch:
+                continue  # whole window shed; move to the next one
+            if len(batch) == self.max_batch:
+                dispatch = max(max(float(arrivals[idx]) for idx in batch), free_min)
+            else:
+                dispatch = horizon
+            fired = False
+            while next_event < len(pending_events) and pending_events[next_event].time <= dispatch:
+                pending_events[next_event].action()
+                next_event += 1
+                fired = True
+            if fired:
+                active = backend.active_indices()
+                if not active:
+                    for entry in selected:
+                        heapq.heappush(heap, entry)
+                    continue
+            loads = [max(0.0, server_free[r] - dispatch) for r in active]
+            choice = active[backend.route_among(loads)]
+            replica = replicas[choice]
+            # Serve the window as one group per effective k (full-k
+            # first): degraded requests get their policy's reduced k, and
+            # groups run back-to-back on the chosen replica's timeline.
+            groups: dict[int, list[int]] = {}
+            for idx in batch:
+                if degraded[idx]:
+                    policy = table.policy_for(str(tenants[idx]))
+                    k_eff = min(self.k, policy.degrade_k or self.k)
+                else:
+                    k_eff = self.k
+                groups.setdefault(k_eff, []).append(idx)
+            done = max(dispatch, server_free[choice])
+            version = replica.version
+            for k_eff in sorted(groups, reverse=True):
+                members = groups[k_eff]
+                before = replica.stats.simulated_seconds
+                replica.recommend_batch(users[np.asarray(members)], k=k_eff, exclude=self.exclude)
+                service = replica.stats.simulated_seconds - before
+                done += service
+                for idx in members:
+                    latencies[idx] = done - float(arrivals[idx])
+                    status[idx] = STATUS_DEGRADED if k_eff != self.k else STATUS_OK
+                    tenant_backlog[str(tenants[idx])] -= 1
+                replica_busy[choice] += service
+                replica_queries[choice] += len(members)
+                version_queries[version] = version_queries.get(version, 0) + len(members)
+                service_total += service
+                n_batches += 1
+                n_pending -= len(members)
+            server_free[choice] = done
+        while next_event < len(pending_events):
+            pending_events[next_event].action()
+            next_event += 1
+        wall = time.perf_counter() - wall_start
+        served_mask = (status == STATUS_OK) | (status == STATUS_DEGRADED)
+        n_served = int(served_mask.sum())
+        served = latencies[served_mask]
+        makespan = max(server_free) - float(arrivals[0]) if n_served else 0.0
+        window_queries = 0
+        window_p95 = 0.0
+        if pending_events and n_served:
+            lo, hi = pending_events[0].time, pending_events[-1].time
+            in_window = (arrivals >= lo) & (arrivals <= hi) & served_mask
+            window_queries = int(in_window.sum())
+            if window_queries:
+                window_p95 = float(np.percentile(latencies[in_window], 95))
+        per_tenant = build_tenant_reports(tenants, status, latencies, makespan, table)
+        shed_mask = (
+            (status == STATUS_SHED_CAP)
+            | (status == STATUS_SHED_DEADLINE)
+            | (status == STATUS_SHED_QUEUE)
+        )
+        return TrafficReport(
+            label=trace.label,
+            n_requests=n,
+            n_batches=n_batches,
+            mean_batch_size=n_served / n_batches if n_batches else 0.0,
+            makespan_s=makespan,
+            throughput_qps=n_served / makespan if makespan > 0 else float("inf"),
+            service_seconds=service_total,
+            latency_p50_s=float(np.percentile(served, 50)) if n_served else 0.0,
+            latency_p95_s=float(np.percentile(served, 95)) if n_served else 0.0,
+            latency_max_s=float(served.max()) if n_served else 0.0,
+            wall_seconds=wall,
+            n_replicas=n_replicas,
+            router=backend.routing_label(),
+            per_replica_queries=tuple(replica_queries),
+            per_replica_busy_s=tuple(replica_busy),
+            per_replica_utilization=tuple(
+                busy / makespan if makespan > 0 else 0.0 for busy in replica_busy
+            ),
+            per_version_queries=version_queries,
+            n_dropped=int((status == 0).sum()),
+            n_events=len(pending_events),
+            window_queries=window_queries,
+            window_p95_s=window_p95,
+            per_tenant=per_tenant,
+            n_shed=int(shed_mask.sum()),
+            n_degraded=int((status == STATUS_DEGRADED).sum()),
         )
