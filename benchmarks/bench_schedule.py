@@ -1,0 +1,137 @@
+"""Task-graph scheduling: overlap-aware schedules vs serial wave replay.
+
+Three jobs:
+
+* pin the overlap bound — an event schedule's makespan can never exceed
+  the sum of its own task durations (what the serial replay charges when
+  nothing overlaps), and on a dual-socket machine with a data-parallel
+  grid the HEFT-style ``"eager"`` scheduler must *strictly* beat the
+  serial replay, because batch ``j+1``'s H2D transfers overlap batch
+  ``j``'s kernels and reduction;
+* print the scheduler comparison table (simulated seconds, trace
+  makespan, bytes moved) on the dual-socket machine — factors must stay
+  bitwise identical across schedulers, time is the only thing a
+  schedule may change;
+* measure streaming-ALS wave throughput: simulated seconds and ratings
+  processed per wave as the chunk count varies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.als_su import ScaleUpALS
+from repro.core.config import ALSConfig
+from repro.core.schedule import scheduler_names
+from repro.core.solver import make_solver
+from repro.datasets.registry import DatasetSpec
+from repro.datasets.synthetic import generate_ratings
+from repro.experiments.common import format_table
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.topology import MachineTopology
+
+CONFIG = ALSConfig(f=8, lam=0.05, iterations=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = DatasetSpec("bench-schedule", 600, 180, 12_000, 8, 0.05, kind="synthetic")
+    return generate_ratings(spec, seed=13, noise_sigma=0.25)
+
+
+def _dual_socket_su(scheduler: str) -> ScaleUpALS:
+    machine = MultiGPUMachine(n_gpus=4, topology=MachineTopology.dual_socket(4))
+    return ScaleUpALS(
+        CONFIG,
+        machine=machine,
+        force_data_parallel=True,
+        q_override=4,
+        scheduler=scheduler,
+    )
+
+
+def test_scheduler_comparison_dual_socket(benchmark, workload, report):
+    """Every registered scheduler, one dual-socket workload, one table."""
+
+    def sweep():
+        rows = []
+        for name in scheduler_names():
+            solver = _dual_socket_su(name)
+            result = solver.fit(workload.train, workload.test)
+            trace = solver.export_trace()
+            rows.append(
+                {
+                    "scheduler": name,
+                    "sim_seconds": solver.machine.elapsed_seconds(),
+                    "trace_makespan": trace.makespan,
+                    "bytes_moved_MB": trace.bytes_moved() / 1e6,
+                    "final_train_rmse": result.final_train_rmse,
+                    "_x": result.x,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_name = {row["scheduler"]: row for row in rows}
+
+    # The schedule decides where simulated time goes — never the numbers.
+    for row in rows[1:]:
+        assert np.array_equal(row["_x"], rows[0]["_x"])
+    # Overlap-aware HEFT beats the serial wave replay on dual-socket.
+    assert by_name["eager"]["sim_seconds"] < by_name["serial"]["sim_seconds"]
+
+    for row in rows:
+        row.pop("_x")
+    report("Scheduler comparison — SU-ALS, 4 GPUs, dual socket, q=4", format_table(rows))
+
+
+def test_eager_makespan_bounded_by_sum_of_phases(workload, report):
+    """Event-schedule makespan ≤ the serial sum of its own task spans."""
+    solver = _dual_socket_su("eager")
+    solver.fit(workload.train)
+    for trace in solver.traces:
+        serial_sum = sum(event.duration for event in trace.events)
+        assert trace.makespan <= serial_sum + 1e-12
+    merged = solver.export_trace()
+    overlap = sum(e.duration for e in merged.events) / max(merged.makespan, 1e-30)
+    report(
+        "Overlap factor — eager schedule, dual socket",
+        f"sum-of-spans / makespan = {overlap:.2f}x across {len(solver.traces)} graphs",
+    )
+
+
+def test_streaming_wave_throughput(benchmark, workload, report):
+    """Ratings processed per simulated second, as chunks stream in."""
+
+    def sweep():
+        rows = []
+        for n_chunks in (1, 2, 4, 8):
+            solver = make_solver(
+                "streaming-als",
+                f=CONFIG.f,
+                lam=CONFIG.lam,
+                seed=CONFIG.seed,
+                iterations=n_chunks,
+                n_chunks=n_chunks,
+                scheduler="eager",
+            )
+            result = solver.fit(workload.train, workload.test)
+            sim_seconds = sum(step.seconds for step in result.history)
+            rows.append(
+                {
+                    "n_chunks": n_chunks,
+                    "waves": len(result.history),
+                    "sim_seconds": sim_seconds,
+                    "ratings_per_sim_s": workload.train.nnz / sim_seconds,
+                    "final_train_rmse": result.final_train_rmse,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        assert row["waves"] == row["n_chunks"]
+        assert row["sim_seconds"] > 0
+        assert np.isfinite(row["final_train_rmse"])
+    report("Streaming-ALS wave throughput — one pass over all chunks", format_table(rows))

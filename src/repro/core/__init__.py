@@ -20,6 +20,14 @@ lives in :mod:`repro.core.solver`: the :class:`~repro.core.solver.Solver`
 protocol, the solver registry (``make_solver``/``register_solver``) and
 the callback-driven :class:`~repro.core.solver.TrainingSession` every
 solver's ``fit`` delegates to.
+
+An ALS iteration is *built* as an explicit dataflow graph
+(:mod:`repro.core.taskgraph`) and *executed* through a pluggable
+scheduler (:mod:`repro.core.schedule` — ``make_scheduler`` /
+``register_scheduler``), which replays kernels and transfers on the
+simulated machine and records chrome-tracing-exportable traces;
+:class:`~repro.core.streaming.StreamingALS` (``"streaming-als"``)
+feeds rating chunks through the same machinery as arriving waves.
 """
 
 from repro.core.config import ALSConfig, FitResult, IterationStats
@@ -34,6 +42,17 @@ from repro.core.kernels import batch_solve_profile, get_hermitian_profile, trans
 from repro.core.als_base import BaseALS
 from repro.core.als_mo import MemoryOptimizedALS
 from repro.core.als_su import ScaleUpALS
+from repro.core.streaming import StreamingALS
+from repro.core.taskgraph import DataObject, Task, TaskGraph
+from repro.core.schedule import (
+    ExecutionTrace,
+    Scheduler,
+    execute_graph,
+    make_scheduler,
+    register_scheduler,
+    scheduler_catalogue,
+    scheduler_names,
+)
 from repro.core.partition_planner import PartitionPlan, plan_partitions
 from repro.core.outofcore import OutOfCoreScheduler
 from repro.core.checkpoint import CheckpointManager
@@ -69,6 +88,17 @@ __all__ = [
     "BaseALS",
     "MemoryOptimizedALS",
     "ScaleUpALS",
+    "StreamingALS",
+    "DataObject",
+    "Task",
+    "TaskGraph",
+    "Scheduler",
+    "ExecutionTrace",
+    "execute_graph",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_names",
+    "scheduler_catalogue",
     "PartitionPlan",
     "plan_partitions",
     "OutOfCoreScheduler",

@@ -12,6 +12,14 @@ changes is that every update pass is *executed through the simulated GPU*:
   (``use_texture``, ``use_registers``, ``bin_size``);
 * the convergence history therefore carries *simulated* seconds, which is
   what the Figure 6/7/8 curves plot.
+
+Like SU-ALS, an update pass is built as an explicit
+:class:`~repro.core.taskgraph.TaskGraph` (one ``get_hermitian`` +
+``batch_solve`` pair per row batch, all pinned to the single device) and
+executed through a :mod:`repro.core.schedule` scheduler; the default
+``"serial"`` schedule charges the clock kernel by kernel under the same
+labels as before, and executed-graph traces accumulate on
+:attr:`MemoryOptimizedALS.traces`.
 """
 
 from __future__ import annotations
@@ -25,8 +33,10 @@ from repro.core.config import ALSConfig, FitResult
 from repro.core.hermitian import batch_solve, compute_hermitians
 from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
 from repro.core.partition_planner import plan_partitions
+from repro.core.schedule import ExecutionTrace, execute_graph, make_scheduler
 from repro.core.solver.protocol import SolverStep
 from repro.core.solver.session import TrainingSession
+from repro.core.taskgraph import TaskGraph
 from repro.gpu.machine import MultiGPUMachine
 from repro.gpu.memory import MemoryKind, OutOfDeviceMemory
 from repro.gpu.specs import TITAN_X, DeviceSpec
@@ -45,12 +55,15 @@ class MemoryOptimizedALS:
         config: ALSConfig,
         machine: MultiGPUMachine | None = None,
         spec: DeviceSpec = TITAN_X,
+        scheduler=None,
     ):
         self.config = config
         self.machine = machine or MultiGPUMachine(n_gpus=1, spec=spec)
         if self.machine.n_gpus != 1:
             raise ValueError("MO-ALS is the single-GPU solver; use ScaleUpALS for multi-GPU machines")
         self.device = self.machine.device(0)
+        self.scheduler = make_scheduler(scheduler if scheduler is not None else "serial")
+        self.traces: list[ExecutionTrace] = []
 
     # ------------------------------------------------------------------ #
     def _check_and_allocate(self, m: int, n: int, nz: int) -> None:
@@ -86,28 +99,59 @@ class MemoryOptimizedALS:
         )
         return max(1, plan.q)
 
-    def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
-        """One update pass (update-X when ``fixed`` is Θ, update-Θ when it is X)."""
+    def build_update_graph(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> tuple[TaskGraph, np.ndarray]:
+        """The task graph of one update pass: a kernel pair per row batch.
+
+        Every kernel gets its own wave (unique ``group``) so the serial
+        schedule charges the clock launch by launch under the same
+        ``get_hermitian_*`` / ``batch_solve_*`` labels the eager code used.
+        The returned array is filled when the graph executes.
+        """
         cfg = self.config
         rows, other = r.shape
         q = self._plan_row_batches(rows, other, r.nnz)
         batch_rows = max(1, -(-rows // q))
         batch_rows = min(batch_rows, cfg.row_batch) if rows > cfg.row_batch else batch_rows
+        graph = TaskGraph()
         out = np.zeros((rows, cfg.f), dtype=np.float64)
 
         for start in range(0, rows, batch_rows):
             stop = min(start + batch_rows, rows)
             block_nnz = int(r.indptr[stop] - r.indptr[start])
-            # --- simulated execution --------------------------------------
             herm = get_hermitian_profile(
                 self.device.spec, stop - start, block_nnz, other, cfg, name=f"get_hermitian_{label}"
             )
             solve = batch_solve_profile(stop - start, cfg.f, name=f"batch_solve_{label}")
-            self.machine.clock.advance(self.device.execute(herm, use_texture=cfg.use_texture), label=f"get_hermitian_{label}")
-            self.machine.clock.advance(self.device.execute(solve), label=f"batch_solve_{label}")
-            # --- numerics --------------------------------------------------
-            a, b = compute_hermitians(r, fixed, cfg.lam, start, stop)
-            out[start:stop] = batch_solve(a, b)
+            herm_task = graph.new_task(
+                f"herm:{label}:r{start}",
+                "kernel",
+                group=f"{label}:r{start}:herm",
+                clock_label=f"get_hermitian_{label}",
+                profile=herm,
+                use_texture=cfg.use_texture,
+                pin=0,
+            )
+
+            def run_solve(start=start, stop=stop):
+                a, b = compute_hermitians(r, fixed, cfg.lam, start, stop)
+                out[start:stop] = batch_solve(a, b)
+
+            graph.new_task(
+                f"solve:{label}:r{start}",
+                "kernel",
+                group=f"{label}:r{start}:solve",
+                clock_label=f"batch_solve_{label}",
+                profile=solve,
+                pin=0,
+                run=run_solve,
+                after=[herm_task],
+            )
+        return graph, out
+
+    def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
+        """One update pass (update-X when ``fixed`` is Θ, update-Θ when it is X)."""
+        graph, out = self.build_update_graph(r, fixed, label)
+        self.traces.append(execute_graph(graph, self.machine, self.scheduler))
         return out
 
     # ------------------------------------------------------------------ #
@@ -128,6 +172,7 @@ class MemoryOptimizedALS:
         cfg = self.config
         m, n = train.shape
         x, theta = starting_factors(train, cfg, x0, theta0)
+        self.traces = []
         yield SolverStep(x, theta)
 
         mark = self.machine.elapsed_seconds()
@@ -142,6 +187,13 @@ class MemoryOptimizedALS:
             elapsed = self.machine.elapsed_seconds()
             yield SolverStep(x, theta, seconds=elapsed - mark)
             mark = elapsed
+
+    def export_trace(self, path: str | None = None):
+        """Merge the per-pass traces; write chrome-tracing JSON when ``path``."""
+        merged = ExecutionTrace.merge(self.traces)
+        if path is not None:
+            return merged.dump(path)
+        return merged
 
     def finalize_result(self, result: FitResult) -> FitResult:
         """Attach the machine's per-kernel/transfer time breakdown."""

@@ -17,6 +17,19 @@ weighted-λ term distributes over the partial sums
 differs: kernels run concurrently across GPUs and the reduction cost
 depends on the selected :class:`~repro.comm.reduction.ReductionScheme` and
 the machine topology.
+
+Since the task-graph refactor an update pass is *built* as an explicit
+:class:`~repro.core.taskgraph.TaskGraph` — per-shard hermitian build →
+per-batch solve → reduce → gather, with the dependency structure the
+dataflow actually has — and *executed* through a scheduler from
+:mod:`repro.core.schedule`.  The default ``"serial"`` scheduler replays
+the graph's waves call-for-call like the old eager code (timings and
+breakdown labels unchanged); ``"eager"`` overlaps independent transfers
+with compute.  Factors are bitwise identical under every scheduler
+because numerics always run in topological order.  Each executed graph's
+:class:`~repro.core.schedule.ExecutionTrace` is appended to
+:attr:`ScaleUpALS.traces` (reset per ``iterate``), exportable as
+chrome-tracing JSON via :meth:`ScaleUpALS.export_trace`.
 """
 
 from __future__ import annotations
@@ -32,8 +45,10 @@ from repro.core.config import ALSConfig, FitResult
 from repro.core.hermitian import batch_solve, compute_hermitians
 from repro.core.kernels import FLOAT_BYTES, batch_solve_profile, get_hermitian_profile
 from repro.core.partition_planner import plan_partitions
+from repro.core.schedule import ExecutionTrace, execute_graph, make_scheduler
 from repro.core.solver.protocol import SolverStep
 from repro.core.solver.session import TrainingSession
+from repro.core.taskgraph import TaskGraph
 from repro.gpu.machine import MultiGPUMachine
 from repro.gpu.specs import TITAN_X, DeviceSpec
 from repro.sparse.csr import CSRMatrix
@@ -56,6 +71,7 @@ class ScaleUpALS:
         reduction: ReductionScheme | None = None,
         q_override: int | None = None,
         force_data_parallel: bool = False,
+        scheduler=None,
     ):
         self.config = config
         self.machine = machine or MultiGPUMachine(n_gpus=n_gpus, spec=spec)
@@ -65,6 +81,8 @@ class ScaleUpALS:
         # factor would fit on one GPU (used by tests and the reduction
         # ablation, which need the data-parallel machinery on small data).
         self.force_data_parallel = force_data_parallel
+        self.scheduler = make_scheduler(scheduler if scheduler is not None else "serial")
+        self.traces: list[ExecutionTrace] = []
 
     @property
     def p(self) -> int:
@@ -97,7 +115,10 @@ class ScaleUpALS:
         fixed_bytes = fixed_rows * self.config.f * FLOAT_BYTES
         return fixed_bytes > 0.45 * self.machine.spec.global_bytes
 
-    def _model_parallel_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
+    # ------------------------------------------------------------------ #
+    # graph builders
+    # ------------------------------------------------------------------ #
+    def _build_model_parallel_graph(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> tuple[TaskGraph, np.ndarray]:
         """Model parallelism only: rows are split across GPUs, Θ replicated.
 
         This is the PALS-style scheme cuMF falls back to whenever the fixed
@@ -109,118 +130,257 @@ class ScaleUpALS:
         p = self.p
         rows, other = r.shape
         row_part = Partition1D(rows, p)
+        graph = TaskGraph()
+        out = np.zeros((rows, cfg.f), dtype=np.float64)
 
         # Replicate the fixed factor on every GPU (concurrent host→device).
         fixed_bytes = other * cfg.f * FLOAT_BYTES
-        self.machine.run_transfers(
-            [self.machine.h2d(i, fixed_bytes, tag=f"fixed-bcast-{label}") for i in range(p)], label="scatter"
-        )
+        fixed_objs = {}
+        for i in range(p):
+            task = graph.new_task(
+                f"bcast:{label}:g{i}",
+                "transfer",
+                group=f"{label}:bcast",
+                clock_label="scatter",
+                transfer=self.machine.h2d(i, fixed_bytes, tag=f"fixed-bcast-{label}"),
+            )
+            fixed_objs[i] = graph.new_object(fixed_bytes, name=f"fixed:{label}:g{i}", producer=task)
         # Stream each GPU's row slice of R.
-        self.machine.run_transfers(
-            [
-                self.machine.h2d(i, r.row_slice(*row_part.range_of(i)).memory_floats() * FLOAT_BYTES, tag=f"r-rows-{label}")
-                for i in range(p)
-            ],
-            label="h2d",
-        )
+        block_objs = {}
+        for i in range(p):
+            lo, hi = row_part.range_of(i)
+            nbytes = r.row_slice(lo, hi).memory_floats() * FLOAT_BYTES
+            task = graph.new_task(
+                f"h2d:{label}:g{i}",
+                "transfer",
+                group=f"{label}:h2d",
+                clock_label="h2d",
+                transfer=self.machine.h2d(i, nbytes, tag=f"r-rows-{label}"),
+            )
+            block_objs[i] = graph.new_object(nbytes, name=f"rows:{label}:g{i}", producer=task)
 
-        out = np.zeros((rows, cfg.f), dtype=np.float64)
-        herm_profiles = {}
-        solve_profiles = {}
+        state: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        herm_tasks = {}
         for i in range(p):
             lo, hi = row_part.range_of(i)
             block_nnz = int(r.indptr[hi] - r.indptr[lo])
-            herm_profiles[i] = get_hermitian_profile(
+            profile = get_hermitian_profile(
                 self.machine.spec, hi - lo, block_nnz, other, cfg, name=f"get_hermitian_{label}"
             )
-            solve_profiles[i] = batch_solve_profile(hi - lo, cfg.f, name=f"batch_solve_{label}")
-            a, b = compute_hermitians(r, fixed, cfg.lam, lo, hi)
-            out[lo:hi] = batch_solve(a, b)
-        self.machine.run_parallel_kernels(herm_profiles, use_texture=cfg.use_texture)
-        self.machine.run_parallel_kernels(solve_profiles)
-        self.machine.run_transfers(
-            [self.machine.d2h(i, row_part.size_of(i) * cfg.f * FLOAT_BYTES, tag=f"x-gather-{label}") for i in range(p)],
-            label="gather",
-        )
-        return out
 
-    def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
-        """One SU-ALS update pass over all rows of ``r`` (solving that side).
+            def run_herm(i=i, lo=lo, hi=hi):
+                state[i] = compute_hermitians(r, fixed, cfg.lam, lo, hi)
 
-        Dispatches to pure model parallelism when the fixed factor fits on
-        one GPU, and to the data-parallel (grid partition + reduction)
-        scheme of Algorithm 3 otherwise.
-        """
+            herm_tasks[i] = graph.new_task(
+                f"herm:{label}:g{i}",
+                "kernel",
+                group=f"{label}:herm",
+                clock_label="kernels",
+                profile=profile,
+                use_texture=cfg.use_texture,
+                pin=i,
+                run=run_herm,
+                inputs=[fixed_objs[i], block_objs[i]],
+            )
+        solve_tasks = {}
+        for i in range(p):
+            lo, hi = row_part.range_of(i)
+            profile = batch_solve_profile(hi - lo, cfg.f, name=f"batch_solve_{label}")
+
+            def run_solve(i=i, lo=lo, hi=hi):
+                out[lo:hi] = batch_solve(*state.pop(i))
+
+            solve_tasks[i] = graph.new_task(
+                f"solve:{label}:g{i}",
+                "kernel",
+                group=f"{label}:solve",
+                clock_label="kernels",
+                profile=profile,
+                pin=i,
+                run=run_solve,
+                after=[herm_tasks[i]],
+            )
+        for i in range(p):
+            graph.new_task(
+                f"gather:{label}:g{i}",
+                "transfer",
+                group=f"{label}:gather",
+                clock_label="gather",
+                transfer=self.machine.d2h(i, row_part.size_of(i) * cfg.f * FLOAT_BYTES, tag=f"x-gather-{label}"),
+                after=[solve_tasks[i]],
+            )
+        return graph, out
+
+    def _build_data_parallel_graph(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> tuple[TaskGraph, np.ndarray]:
+        """The grid-partition + reduction scheme of Algorithm 3, as a graph."""
         cfg = self.config
         p = self.p
         rows, other = r.shape
-        if p > 1 and not self.force_data_parallel and not self.needs_data_parallelism(other):
-            return self._model_parallel_pass(r, fixed, label)
         q = self._choose_q(rows, other, r.nnz)
         grid = grid_partition(r, p, q)
         col_part = grid.col_partition
         row_part = grid.row_partition
+        graph = TaskGraph()
+        out = np.zeros((rows, cfg.f), dtype=np.float64)
 
         # Lines 5-7: scatter the vertical partitions of the fixed factor.
         theta_bytes = [col_part.size_of(i) * cfg.f * FLOAT_BYTES for i in range(p)]
-        self.machine.run_transfers(scatter_plan(self.machine, theta_bytes, tag=f"theta-scatter-{label}"), label="scatter")
+        scatter_tasks = {}
+        theta_objs = {}
+        for transfer in scatter_plan(self.machine, theta_bytes, tag=f"theta-scatter-{label}"):
+            gpu = int(transfer.dst.split(":")[1])
+            task = graph.new_task(
+                f"scatter:{label}:g{gpu}",
+                "transfer",
+                group=f"{label}:scatter",
+                clock_label="scatter",
+                transfer=transfer,
+            )
+            scatter_tasks[gpu] = task
+            theta_objs[gpu] = graph.new_object(transfer.nbytes, name=f"theta:{label}:g{gpu}", producer=task)
 
         fixed_parts = [np.asarray(fixed)[col_part.range_of(i)[0] : col_part.range_of(i)[1]] for i in range(p)]
-        out = np.zeros((rows, cfg.f), dtype=np.float64)
 
         for j in range(q):  # line 8: model-parallel loop over X batches
             j_lo, j_hi = row_part.range_of(j)
             batch_rows = j_hi - j_lo
 
             # Line 10: copy the R^(ij) blocks to their GPUs (concurrently).
-            block_transfers = [
-                self.machine.h2d(i, grid.block(i, j).memory_floats() * FLOAT_BYTES, tag=f"r-block-{label}")
-                for i in range(p)
-            ]
-            self.machine.run_transfers(block_transfers, label="h2d")
+            block_objs = {}
+            for i in range(p):
+                nbytes = grid.block(i, j).memory_floats() * FLOAT_BYTES
+                task = graph.new_task(
+                    f"h2d:{label}:b{j}:g{i}",
+                    "transfer",
+                    group=f"{label}:b{j}:h2d",
+                    clock_label="h2d",
+                    transfer=self.machine.h2d(i, nbytes, tag=f"r-block-{label}"),
+                )
+                block_objs[i] = graph.new_object(nbytes, name=f"block:{label}:b{j}:g{i}", producer=task)
 
             # Line 11: local Hermitians on every GPU, concurrently.
             partial_a: list[np.ndarray] = []
             partial_b: list[np.ndarray] = []
-            profiles = {}
+            herm_tasks = []
             for i in range(p):
-                block = grid.block(i, j)
-                a_i, b_i = compute_hermitians(block, fixed_parts[i], cfg.lam, 0, batch_rows)
-                partial_a.append(a_i)
-                partial_b.append(b_i)
-                profiles[i] = get_hermitian_profile(
+                profile = get_hermitian_profile(
                     self.machine.spec,
                     batch_rows,
-                    block.nnz,
+                    grid.block(i, j).nnz,
                     max(1, col_part.size_of(i)),
                     cfg,
                     name=f"get_hermitian_{label}",
                 )
-            self.machine.run_parallel_kernels(profiles, use_texture=cfg.use_texture)
 
-            # Lines 13-16: parallel reduction of the partials.
+                def run_herm(i=i, j=j, batch_rows=batch_rows, partial_a=partial_a, partial_b=partial_b):
+                    a_i, b_i = compute_hermitians(grid.block(i, j), fixed_parts[i], cfg.lam, 0, batch_rows)
+                    partial_a.append(a_i)
+                    partial_b.append(b_i)
+
+                herm_tasks.append(
+                    graph.new_task(
+                        f"herm:{label}:b{j}:g{i}",
+                        "kernel",
+                        group=f"{label}:b{j}:herm",
+                        clock_label="kernels",
+                        profile=profile,
+                        use_texture=cfg.use_texture,
+                        pin=i,
+                        run=run_herm,
+                        inputs=[block_objs[i]] + ([theta_objs[i]] if i in theta_objs else []),
+                        after=[scatter_tasks[i]] if i in scatter_tasks else [],
+                    )
+                )
+
+            # Lines 13-16: parallel reduction of the partials.  Each batch of
+            # the scheme's transfer schedule is one wave; waves stay
+            # sequential (the two-phase scheme's phase 2 moves what phase 1
+            # pre-reduced), so they chain through ``after``.
             partial_bytes = batch_rows * (cfg.f * cfg.f + cfg.f) * FLOAT_BYTES
-            self.reduction.simulate(self.machine, partial_bytes)
-            a_full = numeric_reduce(partial_a)
-            b_full = numeric_reduce(partial_b)
+            barrier = herm_tasks
+            for k, batch in enumerate(self.reduction.transfer_batches(self.machine, partial_bytes)):
+                wave = [
+                    graph.new_task(
+                        f"reduce:{label}:b{j}:p{k}:{idx}",
+                        "transfer",
+                        group=f"{label}:b{j}:reduce{k}",
+                        clock_label=f"reduce:{self.reduction.name}",
+                        transfer=transfer,
+                        after=barrier,
+                    )
+                    for idx, transfer in enumerate(batch)
+                ]
+                barrier = wave
+
+            state: dict[str, np.ndarray] = {}
+
+            def run_reduce(state=state, partial_a=partial_a, partial_b=partial_b):
+                state["a"] = numeric_reduce(partial_a)
+                state["b"] = numeric_reduce(partial_b)
+                partial_a.clear()
+                partial_b.clear()
+
+            reduce_sum = graph.new_task(
+                f"reduce-sum:{label}:b{j}",
+                "compute",
+                group=f"{label}:b{j}:reduce-sum",
+                run=run_reduce,
+                after=barrier if barrier is not herm_tasks else list(herm_tasks),
+            )
 
             # Line 17: each GPU solves the slice it reduced (or only the
             # root GPU, for the reduce-to-one strawman).
             solver_width = self.reduction.solver_parallelism(p)
             slice_part = Partition1D(batch_rows, solver_width)
-            solve_profiles = {
-                i: batch_solve_profile(slice_part.size_of(i), cfg.f, name=f"batch_solve_{label}")
-                for i in range(solver_width)
-            }
-            self.machine.run_parallel_kernels(solve_profiles)
-            out[j_lo:j_hi] = batch_solve(a_full, b_full)
+            solve_tasks = []
+            for i in range(solver_width):
+                profile = batch_solve_profile(slice_part.size_of(i), cfg.f, name=f"batch_solve_{label}")
+
+                def run_solve(state=state, j_lo=j_lo, j_hi=j_hi):
+                    out[j_lo:j_hi] = batch_solve(state.pop("a"), state.pop("b"))
+
+                solve_tasks.append(
+                    graph.new_task(
+                        f"solve:{label}:b{j}:g{i}",
+                        "kernel",
+                        group=f"{label}:b{j}:solve",
+                        clock_label="kernels",
+                        profile=profile,
+                        pin=i,
+                        run=run_solve if i == 0 else None,
+                        after=[reduce_sum],
+                    )
+                )
 
             # Line 19: gather the solved batch back to host / peers.
-            gather = [
-                self.machine.d2h(i, slice_part.size_of(i) * cfg.f * FLOAT_BYTES, tag=f"x-gather-{label}")
-                for i in range(solver_width)
-            ]
-            self.machine.run_transfers(gather, label="gather")
+            for i in range(solver_width):
+                graph.new_task(
+                    f"gather:{label}:b{j}:g{i}",
+                    "transfer",
+                    group=f"{label}:b{j}:gather",
+                    clock_label="gather",
+                    transfer=self.machine.d2h(i, slice_part.size_of(i) * cfg.f * FLOAT_BYTES, tag=f"x-gather-{label}"),
+                    after=[solve_tasks[i]],
+                )
+        return graph, out
+
+    def build_update_graph(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> tuple[TaskGraph, np.ndarray]:
+        """The task graph of one update pass (solving the ``r``-row side).
+
+        Dispatches to pure model parallelism when the fixed factor fits on
+        one GPU, and to the data-parallel (grid partition + reduction)
+        scheme of Algorithm 3 otherwise.  The returned array is filled
+        when the graph executes.
+        """
+        rows, other = r.shape
+        if self.p > 1 and not self.force_data_parallel and not self.needs_data_parallelism(other):
+            return self._build_model_parallel_graph(r, fixed, label)
+        return self._build_data_parallel_graph(r, fixed, label)
+
+    def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
+        """One SU-ALS update pass: build the graph, execute it, keep the trace."""
+        graph, out = self.build_update_graph(r, fixed, label)
+        self.traces.append(execute_graph(graph, self.machine, self.scheduler))
         return out
 
     # ------------------------------------------------------------------ #
@@ -235,6 +395,7 @@ class ScaleUpALS:
         """Yield per-iteration factors with *simulated* seconds attached."""
         cfg = self.config
         x, theta = starting_factors(train, cfg, x0, theta0)
+        self.traces = []
         yield SolverStep(x, theta)
 
         train_t = train.to_csc().transpose_csr()
@@ -245,6 +406,17 @@ class ScaleUpALS:
             elapsed = self.machine.elapsed_seconds()
             yield SolverStep(x, theta, seconds=elapsed - mark)
             mark = elapsed
+
+    def export_trace(self, path: str | None = None):
+        """Merge the per-pass traces; write chrome-tracing JSON when ``path``.
+
+        Returns the merged :class:`~repro.core.schedule.ExecutionTrace`
+        (or the written path when one was given).
+        """
+        merged = ExecutionTrace.merge(self.traces)
+        if path is not None:
+            return merged.dump(path)
+        return merged
 
     def finalize_result(self, result: FitResult) -> FitResult:
         """Attach the machine's per-kernel/transfer/reduction breakdown."""

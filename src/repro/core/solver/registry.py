@@ -15,12 +15,13 @@ Every factory accepts the same surface — an optional ``config`` (any
 solver family's config; common fields are mapped across, with
 ``iterations`` ↔ ``epochs`` translated for the SGD family), loose
 hyper-parameter keywords, and the simulated-hardware keywords
-(``machine`` / ``n_gpus`` / ``spec`` / ``reduction``), which apply to the
-GPU solvers and are ignored by the CPU baselines exactly as
-``CuMF(backend="mo", n_gpus=4)`` always ignored ``n_gpus``.
+(``machine`` / ``n_gpus`` / ``spec`` / ``reduction`` / ``scheduler``),
+which apply to the GPU solvers and are ignored by the CPU baselines
+exactly as ``CuMF(backend="mo", n_gpus=4)`` always ignored ``n_gpus``.
 
 Registered out of the box: the three cuMF ALS levels (``base``, ``mo``,
-``su``) and every baseline the paper compares against (``ccd++``,
+``su``), the streaming minibatch solver (``streaming-als``) and every
+baseline the paper compares against (``ccd++``,
 ``libmf-sgd``, ``nomad``, ``pals``, ``spark-als``).  New solvers join
 with :func:`register_solver` and immediately work everywhere a name is
 accepted — ``CuMF(backend=...)``, the experiment drivers, the
@@ -200,10 +201,10 @@ def _base_factory(config=None, *, machine=None, n_gpus=1, spec=TITAN_X, reductio
     return BaseALS(_als_config(config, hyper))
 
 
-def _mo_factory(config=None, *, machine=None, n_gpus=1, spec=TITAN_X, reduction=None, **hyper):
+def _mo_factory(config=None, *, machine=None, n_gpus=1, spec=TITAN_X, reduction=None, scheduler=None, **hyper):
     from repro.core.als_mo import MemoryOptimizedALS
 
-    return MemoryOptimizedALS(_als_config(config, hyper), machine=machine, spec=spec)
+    return MemoryOptimizedALS(_als_config(config, hyper), machine=machine, spec=spec, scheduler=scheduler)
 
 
 def _su_factory(
@@ -215,6 +216,7 @@ def _su_factory(
     reduction=None,
     q_override=None,
     force_data_parallel=False,
+    scheduler=None,
     **hyper,
 ):
     from repro.core.als_su import ScaleUpALS
@@ -227,6 +229,31 @@ def _su_factory(
         reduction=reduction,
         q_override=q_override,
         force_data_parallel=force_data_parallel,
+        scheduler=scheduler,
+    )
+
+
+def _streaming_factory(
+    config=None,
+    *,
+    machine=None,
+    n_gpus=1,
+    spec=TITAN_X,
+    reduction=None,
+    scheduler=None,
+    n_chunks=4,
+    **hyper,
+):
+    from repro.core.streaming import StreamingALS
+
+    return StreamingALS(
+        _als_config(config, hyper),
+        machine=machine,
+        n_gpus=n_gpus,
+        spec=spec,
+        reduction=reduction,
+        scheduler=scheduler,
+        n_chunks=n_chunks,
     )
 
 
@@ -280,6 +307,13 @@ register_solver(
     kind="als",
     description="Algorithm 3: scale-up ALS across a simulated multi-GPU machine",
     aliases=("su-als",),
+)
+register_solver(
+    "streaming-als",
+    _streaming_factory,
+    kind="als",
+    description="minibatch ALS over rating chunks arriving as scheduled task-graph waves",
+    aliases=("streaming",),
 )
 register_solver(
     "ccd++",

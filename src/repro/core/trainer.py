@@ -67,6 +67,11 @@ class CuMF:
         share one simulated machine between runs or customise topology.
     reduction:
         Reduction scheme for ``"su"`` (default: two-phase topology-aware).
+    scheduler:
+        Task-graph scheduler name (or instance) for the GPU solvers —
+        any name in :mod:`repro.core.schedule`'s registry (``"serial"``,
+        ``"eager"``, ``"round-robin"``).  ``None`` keeps each solver's
+        default (serial, the eager-parity replay).
     checkpoint_dir:
         When set, X/Θ are checkpointed during training (via a
         :class:`~repro.core.solver.session.CheckpointCallback`) and
@@ -89,6 +94,7 @@ class CuMF:
         reduction: ReductionScheme | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
+        scheduler=None,
     ):
         self.backend = get_solver_spec(backend).name  # ValueError on unknown names
         if checkpoint_every < 1:
@@ -98,6 +104,7 @@ class CuMF:
         self.spec = spec
         self.machine = machine
         self.reduction = reduction
+        self.scheduler = scheduler
         self.checkpoints = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
         self.checkpoint_every = checkpoint_every
         self.result: FitResult | None = None
@@ -105,14 +112,18 @@ class CuMF:
 
     # ------------------------------------------------------------------ #
     def _build_solver(self):
-        return make_solver(
-            self.backend,
+        kwargs = dict(
             config=self.config,
             machine=self.machine,
             n_gpus=self.n_gpus,
             spec=self.spec,
             reduction=self.reduction,
         )
+        # Only the GPU solver factories know the scheduler keyword; the
+        # baselines' loose **hyper would reject it, so pass it when set.
+        if self.scheduler is not None:
+            kwargs["scheduler"] = self.scheduler
+        return make_solver(self.backend, **kwargs)
 
     def fit(
         self,
@@ -240,7 +251,7 @@ class CuMF:
 
         return FactorStore.from_result(self._require_fit(), **kwargs)
 
-    def refresh(self, train: CSRMatrix, log):
+    def refresh(self, train: CSRMatrix, log, callbacks=()):
         """Fold serving-time ratings back into the model incrementally.
 
         ``train`` is the ratings matrix the current factors were fitted
@@ -249,23 +260,37 @@ class CuMF:
         rows are re-solved (against the frozen Θ, extended with θ rows
         folded in for brand-new items), using the same normal-equations
         kernels as training, so refreshed rows equal a full update pass
-        over the merged ratings.  The trainer's result is replaced with
-        the refreshed factors (its serving snapshot is invalidated and a
-        checkpoint is written when checkpointing is on) and the
+        over the merged ratings.  The refresh runs as a one-iteration
+        :class:`~repro.core.solver.session.TrainingSession`, so
+        ``callbacks`` receive the usual ``on_fit_start`` /
+        ``on_iteration_end`` / ``on_fit_end`` hooks and the recorded
+        history row continues the fit's iteration numbering.  The
+        trainer's result is replaced with the refreshed factors (its
+        serving snapshot is invalidated and a checkpoint is written when
+        checkpointing is on) and the
         :class:`~repro.serving.lifecycle.RefreshResult` is returned —
         its ``ratings`` field is the merged matrix to pass to the *next*
         refresh, and its factors are what :meth:`export_registry`
         publishes as the next version.
         """
-        from repro.serving.lifecycle import refresh_factors
+        from repro.serving.lifecycle import run_refresh_session
 
         result = self._require_fit()
-        refreshed = refresh_factors(result.x, result.theta, train, log, self.config.lam)
+        start = result.history[-1].iteration if result.history else 0
+        refreshed, fit = run_refresh_session(
+            result.x,
+            result.theta,
+            train,
+            log,
+            self.config.lam,
+            callbacks=callbacks,
+            start_iteration=start,
+        )
         solver = result.solver if result.solver.endswith("+refresh") else result.solver + "+refresh"
         self.result = FitResult(
             x=refreshed.x,
             theta=refreshed.theta,
-            history=list(result.history),
+            history=list(result.history) + list(fit.history),
             solver=solver,
             config=result.config,
         )

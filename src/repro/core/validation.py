@@ -36,14 +36,17 @@ MESSAGES = {
 def unknown_name_error(kind: str, name: object, known: Iterable[str]) -> ValueError:
     """The one unknown-registry-name error, identical for every registry.
 
-    Both declarative registries — solvers
-    (:mod:`repro.core.solver.registry`) and routers
-    (:mod:`repro.serving.routing`) — raise exactly this shape on an
+    All three declarative registries — solvers
+    (:mod:`repro.core.solver.registry`), routers
+    (:mod:`repro.serving.routing`) and schedulers
+    (:mod:`repro.core.schedule`) — raise exactly this shape on an
     unrecognised name, so callers can match ``unknown solver`` /
-    ``unknown router`` without caring which registry rejected it::
+    ``unknown router`` / ``unknown scheduler`` without caring which
+    registry rejected it::
 
         unknown solver 'mos'; choose from ['base', 'ccd++', ...]
         unknown router 'rand'; choose from ['least-loaded', 'll', ...]
+        unknown scheduler 'hefty'; choose from ['eager', 'eager-greedy', ...]
     """
     return ValueError(f"unknown {kind} {name!r}; choose from {sorted(known)}")
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.gpu.device import GPUDevice
+from repro.gpu.device import DeviceCounters, GPUDevice
 from repro.gpu.memory import MemoryKind, MemorySpace
 from repro.gpu.specs import DeviceSpec, TITAN_X
 from repro.gpu.topology import MachineTopology
@@ -80,12 +80,17 @@ class MultiGPUMachine:
         return self.devices[i]
 
     def reset(self) -> None:
-        """Clear the clock, counters and allocations (between experiments)."""
+        """Clear the clock, counters and allocations (between experiments).
+
+        This includes the transfer engine's cumulative byte/time totals —
+        back-to-back scheduled runs must not inherit stale accounting.
+        """
         self.clock.reset()
         for dev in self.devices:
             dev.reset_memory()
-            dev.counters.__init__()
+            dev.counters = DeviceCounters()
         self.host_memory.free_all()
+        self.transfer_engine.reset()
 
     # ------------------------------------------------------------------ #
     # execution helpers

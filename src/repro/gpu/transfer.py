@@ -71,6 +71,12 @@ class TransferEngine:
         self.total_transfer_seconds = 0.0
         self.batches = 0
 
+    def reset(self) -> None:
+        """Zero the cumulative byte/time/batch counters."""
+        self.total_bytes_moved = 0.0
+        self.total_transfer_seconds = 0.0
+        self.batches = 0
+
     def _directed_load(self, transfers: list[Transfer]) -> dict:
         """Bytes crossing every directed link, keyed by (link, direction)."""
         load: dict[tuple[str, str, float], float] = {}

@@ -26,15 +26,23 @@ production recommender:
 """
 
 from repro.serving.lifecycle.log import InteractionLog
-from repro.serving.lifecycle.refresh import RefreshResult, merged_ratings, refresh_factors
+from repro.serving.lifecycle.refresh import (
+    RefreshResult,
+    RefreshSolver,
+    merged_ratings,
+    refresh_factors,
+    run_refresh_session,
+)
 from repro.serving.lifecycle.registry import Snapshot, SnapshotRegistry
 from repro.serving.lifecycle.rollout import RolloutController
 
 __all__ = [
     "InteractionLog",
     "RefreshResult",
+    "RefreshSolver",
     "merged_ratings",
     "refresh_factors",
+    "run_refresh_session",
     "Snapshot",
     "SnapshotRegistry",
     "RolloutController",

@@ -23,19 +23,37 @@ machine precision — the property the rollout benchmark pins to 1e-8.
 Untouched rows keep their old factors; that is the incremental trade-off
 (they were solved against the un-extended Θ) and the reason periodic
 full retrains still happen.
+
+A refresh is also runnable *as a training session*:
+:func:`run_refresh_session` wraps the refresh step in a one-iteration
+:class:`RefreshSolver` and drives it through
+:class:`~repro.core.solver.session.TrainingSession`, so log-driven
+refreshes emit the same callback hooks (``on_fit_start`` /
+``on_iteration_end`` / ``on_fit_end``), RMSE-bearing history rows and
+resume-friendly iteration numbering as any other training run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
+from repro.core.config import FitResult
+from repro.core.solver.protocol import SolverStep
+from repro.core.solver.session import TrainingSession
 from repro.serving.foldin import fold_in_users
 from repro.serving.lifecycle.log import InteractionLog
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["RefreshResult", "merged_ratings", "refresh_factors"]
+__all__ = [
+    "RefreshResult",
+    "RefreshSolver",
+    "merged_ratings",
+    "refresh_factors",
+    "run_refresh_session",
+]
 
 
 @dataclass(frozen=True)
@@ -175,3 +193,80 @@ def refresh_factors(
         n_base_users=n_base_users,
         n_base_items=n_base_items,
     )
+
+
+class RefreshSolver:
+    """A one-iteration solver whose single update is an incremental refresh.
+
+    Satisfies the :class:`~repro.core.solver.protocol.Solver` contract so
+    the refresh step can run through a
+    :class:`~repro.core.solver.session.TrainingSession`: the initial
+    yield carries the pre-refresh factors (on the *old* axes; the session
+    never scores the initial yield), the one iteration yields the
+    refreshed factors sized to the merged matrix.  The full
+    :class:`RefreshResult` is stashed on :attr:`last_refresh`.
+    """
+
+    name = "refresh"
+
+    def __init__(self, base: CSRMatrix, log: InteractionLog, lam: float, weighted: bool = True):
+        self.base = base
+        self.log = log
+        self.lam = float(lam)
+        self.weighted = weighted
+        self.last_refresh: RefreshResult | None = None
+
+    def iterate(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> Iterator[SolverStep]:
+        """Yield the pre-refresh factors, then the refreshed ones."""
+        if x0 is None or theta0 is None:
+            raise ValueError("RefreshSolver needs the current factors as x0/theta0")
+        yield SolverStep(x0, theta0)
+        refreshed = refresh_factors(x0, theta0, self.base, self.log, self.lam, weighted=self.weighted)
+        self.last_refresh = refreshed
+        yield SolverStep(refreshed.x, refreshed.theta)
+
+    def fit(
+        self,
+        train: CSRMatrix,
+        test: CSRMatrix | None = None,
+        *,
+        x0: np.ndarray | None = None,
+        theta0: np.ndarray | None = None,
+    ) -> FitResult:
+        """Run the refresh through a plain (callback-less) session."""
+        return TrainingSession(self).run(train, test, x0=x0, theta0=theta0)
+
+
+def run_refresh_session(
+    x: np.ndarray,
+    theta: np.ndarray,
+    base: CSRMatrix,
+    log: InteractionLog,
+    lam: float,
+    *,
+    weighted: bool = True,
+    callbacks=(),
+    start_iteration: int = 0,
+    test: CSRMatrix | None = None,
+) -> tuple[RefreshResult, FitResult]:
+    """One refresh as a callback-emitting training session.
+
+    The session runs over the merged base+log matrix (what the refreshed
+    factors are solved against), so the recorded history row carries the
+    post-refresh train RMSE; ``start_iteration`` continues an existing
+    history's numbering.  Returns the :class:`RefreshResult` plus the
+    session's :class:`~repro.core.config.FitResult`.
+    """
+    solver = RefreshSolver(base, log, lam, weighted=weighted)
+    merged = merged_ratings(base, log, n_users=int(np.asarray(x).shape[0]), n_items=int(np.asarray(theta).shape[0]))
+    session = TrainingSession(solver, callbacks=callbacks)
+    fit = session.run(merged, test, x0=x, theta0=theta, start_iteration=start_iteration)
+    assert solver.last_refresh is not None
+    return solver.last_refresh, fit

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.serving.lifecycle.refresh import RefreshResult, refresh_factors
+from repro.serving.lifecycle.refresh import RefreshResult, run_refresh_session
 from repro.serving.lifecycle.registry import Snapshot, SnapshotRegistry
 from repro.serving.lifecycle.rollout import RolloutController
 from repro.serving.service.envelopes import (
@@ -340,13 +340,16 @@ class RecommenderService:
         """Append item rows on every serving unit; returns the first new id."""
         return self.backend.grow_items(new_theta)
 
-    def refresh(self, base: CSRMatrix | None = None, tag: str = "refresh") -> RefreshResult:
+    def refresh(self, base: CSRMatrix | None = None, tag: str = "refresh", callbacks=()) -> RefreshResult:
         """Fold the interaction log back into the model incrementally.
 
         Re-solves only the affected user rows (fold-ins included)
         against the frozen Θ — extended with θ rows folded in for
         brand-new items — exactly like
-        :func:`~repro.serving.lifecycle.refresh.refresh_factors`.  With
+        :func:`~repro.serving.lifecycle.refresh.refresh_factors`, run as
+        a one-iteration training session so ``callbacks`` receive the
+        usual ``on_fit_start`` / ``on_iteration_end`` / ``on_fit_end``
+        hooks with the post-refresh train RMSE.  With
         a registry attached, the refreshed factors are published as the
         next version (roll them out with :meth:`rollout`); without one,
         they are swapped into the backend immediately.  The consumed log
@@ -364,7 +367,9 @@ class RecommenderService:
         if self.log is None:
             raise RuntimeError("refresh needs an interaction log; serve with ServingConfig(log=True)")
         unit = self.backend.serving_units()[0]
-        refreshed = refresh_factors(unit.x, unit.theta, base, self.log, unit.lam, weighted=unit.weighted)
+        refreshed, _ = run_refresh_session(
+            unit.x, unit.theta, base, self.log, unit.lam, weighted=unit.weighted, callbacks=callbacks
+        )
         if self.registry is not None:
             version = self.registry.publish(
                 refreshed.x,

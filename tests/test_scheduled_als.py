@@ -1,0 +1,169 @@
+"""Scheduled ALS: factor parity across schedulers, streaming waves, refresh sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.als_base import BaseALS, starting_factors
+from repro.core.als_su import ScaleUpALS
+from repro.core.solver.registry import make_solver
+from repro.core.streaming import StreamingALS
+from repro.core.trainer import CuMF
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.topology import MachineTopology
+from repro.serving.lifecycle import InteractionLog, run_refresh_session
+from repro.serving.service import ServingConfig
+
+SCHEDULERS = ("serial", "eager", "round-robin")
+
+
+def machine_for(n_gpus: int, topology: str) -> MultiGPUMachine:
+    builder = getattr(MachineTopology, topology)
+    return MultiGPUMachine(n_gpus=n_gpus, topology=builder(n_gpus))
+
+
+@pytest.mark.parametrize("topology", ["single_socket", "dual_socket"])
+@pytest.mark.parametrize("n_gpus", [1, 2, 4])
+class TestScheduledFactorParity:
+    def test_every_scheduler_matches_base(self, tiny_ratings, als_config, n_gpus, topology):
+        base = BaseALS(als_config).fit(tiny_ratings.train, tiny_ratings.test)
+        for scheduler in SCHEDULERS:
+            su = ScaleUpALS(
+                als_config,
+                machine=machine_for(n_gpus, topology),
+                force_data_parallel=True,
+                q_override=2,
+                scheduler=scheduler,
+            ).fit(tiny_ratings.train, tiny_ratings.test)
+            np.testing.assert_allclose(su.x, base.x, atol=1e-8, err_msg=scheduler)
+            np.testing.assert_allclose(su.theta, base.theta, atol=1e-8, err_msg=scheduler)
+
+    def test_schedulers_agree_bitwise(self, tiny_ratings, als_config, n_gpus, topology):
+        """Numerics run in topological order: the schedule cannot perturb them."""
+        results = [
+            ScaleUpALS(
+                als_config,
+                machine=machine_for(n_gpus, topology),
+                force_data_parallel=True,
+                q_override=2,
+                scheduler=scheduler,
+            ).fit(tiny_ratings.train)
+            for scheduler in SCHEDULERS
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0].x, other.x)
+            assert np.array_equal(results[0].theta, other.theta)
+
+    def test_resume_numbering_identical_across_schedulers(self, tiny_ratings, als_config, n_gpus, topology):
+        for scheduler in SCHEDULERS:
+            solver = ScaleUpALS(
+                als_config.with_(iterations=2),
+                machine=machine_for(n_gpus, topology),
+                scheduler=scheduler,
+            )
+            first = solver.fit(tiny_ratings.train)
+            resumed = solver.fit(tiny_ratings.train, x0=first.x, theta0=first.theta)
+            assert [s.iteration for s in first.history] == [1, 2]
+            assert [s.iteration for s in resumed.history] == [1, 2]
+
+
+class TestStreamingALS:
+    def test_registered_and_constructible_by_name(self):
+        solver = make_solver("streaming-als", f=4, iterations=2, n_chunks=2)
+        assert isinstance(solver, StreamingALS)
+        assert make_solver("streaming", f=4, iterations=2).name == "streaming-als"
+
+    def test_rejects_bad_chunk_count(self, als_config):
+        with pytest.raises(ValueError, match="n_chunks"):
+            StreamingALS(als_config, n_chunks=0)
+
+    def test_untouched_chunks_keep_warm_start_rows(self, tiny_ratings, als_config):
+        m, n = tiny_ratings.train.shape
+        x0, theta0 = starting_factors(tiny_ratings.train, als_config, None, None)
+        solver = StreamingALS(als_config.with_(iterations=1), n_chunks=4)
+        result = solver.fit(tiny_ratings.train, x0=x0, theta0=theta0)
+        # One wave processes only chunk 0; later chunks' rows are untouched.
+        lo = (m + 3) // 4
+        assert not np.array_equal(result.x[:lo], x0[:lo])
+        np.testing.assert_array_equal(result.x[lo:], x0[lo:])
+
+    def test_full_cycle_refines_rmse(self, tiny_ratings, als_config):
+        chunks = 3
+        solver = StreamingALS(als_config.with_(iterations=2 * chunks), n_chunks=chunks)
+        result = solver.fit(tiny_ratings.train, tiny_ratings.test)
+        # After every chunk has arrived once, further waves keep refining.
+        assert result.history[-1].train_rmse < result.history[chunks - 1].train_rmse
+        assert [s.iteration for s in result.history] == list(range(1, 2 * chunks + 1))
+
+    def test_waves_charge_simulated_time_and_traces(self, tiny_ratings, als_config):
+        solver = StreamingALS(als_config.with_(iterations=2), n_chunks=2, scheduler="eager")
+        result = solver.fit(tiny_ratings.train)
+        assert all(s.seconds > 0 for s in result.history)
+        assert result.breakdown
+        merged = solver.export_trace()
+        assert merged.scheduler == "eager"
+        assert {e.kind for e in merged.events} >= {"kernel", "transfer"}
+
+    def test_deterministic_given_seed(self, tiny_ratings, als_config):
+        a = StreamingALS(als_config, n_chunks=3).fit(tiny_ratings.train)
+        b = StreamingALS(als_config, n_chunks=3).fit(tiny_ratings.train)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.theta, b.theta)
+
+
+class RecordingCallback:
+    def __init__(self):
+        self.calls = []
+
+    def on_fit_start(self, session, train, test):
+        self.calls.append("start")
+
+    def on_iteration_end(self, session, stats, x, theta):
+        self.calls.append(("iter", stats.iteration))
+
+    def on_fit_end(self, session, result):
+        self.calls.append("end")
+
+
+class TestRefreshSessions:
+    def _log(self, n_items: int) -> InteractionLog:
+        log = InteractionLog()
+        log.record(0, np.array([1]), np.array([4.0]))
+        log.record(2, np.array([n_items - 1]), np.array([3.0]))
+        return log
+
+    def test_run_refresh_session_matches_refresh_factors(self, tiny_ratings, als_config):
+        from repro.serving.lifecycle import refresh_factors
+
+        fitted = BaseALS(als_config).fit(tiny_ratings.train)
+        log = self._log(tiny_ratings.train.shape[1])
+        direct = refresh_factors(fitted.x, fitted.theta, tiny_ratings.train, log, als_config.lam)
+        cb = RecordingCallback()
+        refreshed, fit = run_refresh_session(fitted.x, fitted.theta, tiny_ratings.train, log, als_config.lam, callbacks=[cb])
+        np.testing.assert_array_equal(refreshed.x, direct.x)
+        np.testing.assert_array_equal(refreshed.theta, direct.theta)
+        assert cb.calls == ["start", ("iter", 1), "end"]
+        assert len(fit.history) == 1 and fit.history[0].train_rmse > 0
+
+    def test_trainer_refresh_emits_callbacks_and_continues_numbering(self, tiny_ratings, als_config):
+        trainer = CuMF(als_config, backend="base")
+        trainer.fit(tiny_ratings.train)
+        cb = RecordingCallback()
+        log = self._log(tiny_ratings.train.shape[1])
+        refreshed = trainer.refresh(tiny_ratings.train, log, callbacks=[cb])
+        iters = als_config.iterations
+        assert cb.calls == ["start", ("iter", iters + 1), "end"]
+        assert [s.iteration for s in trainer.result.history] == list(range(1, iters + 2))
+        assert trainer.result.solver.endswith("+refresh")
+        np.testing.assert_array_equal(trainer.result.x, refreshed.x)
+
+    def test_service_refresh_emits_callbacks(self, tiny_ratings, als_config):
+        trainer = CuMF(als_config, backend="base")
+        trainer.fit(tiny_ratings.train)
+        service = trainer.serve(ServingConfig(ratings=tiny_ratings.train))
+        service.rate(0, np.array([1, 2]), np.array([5.0, 4.0])).raise_for_status()
+        cb = RecordingCallback()
+        refreshed = service.refresh(callbacks=[cb])
+        assert cb.calls == ["start", ("iter", 1), "end"]
+        assert refreshed.affected_users.size > 0
