@@ -33,6 +33,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, runtime_checkable
 
+import repro.obs as obs
 from repro.core.taskgraph import Task, TaskGraph
 from repro.core.validation import unknown_name_error
 from repro.gpu.kernel import estimate_kernel_time
@@ -355,9 +356,20 @@ def execute_graph(graph: TaskGraph, machine: MultiGPUMachine, scheduler="serial"
     for task in graph.topological_order():
         if task.run is not None:
             task.run()
+    base = machine.clock.now
     if sched.mode == "waves":
-        return _replay_waves(graph, machine, sched)
-    return _simulate_events(graph, machine, sched)
+        trace = _replay_waves(graph, machine, sched)
+        offset = 0.0  # wave replay stamps absolute machine-clock times
+    else:
+        trace = _simulate_events(graph, machine, sched)
+        offset = base  # event simulation times each graph from zero
+    if obs.enabled():
+        obs.get_tracer().adopt_execution(trace, process="train", offset=offset)
+        registry = obs.get_registry()
+        registry.counter("schedule.graphs", scheduler=sched.name).inc()
+        registry.counter("schedule.tasks", scheduler=sched.name).inc(len(trace.events))
+        registry.gauge("schedule.makespan_s", scheduler=sched.name).set(trace.makespan)
+    return trace
 
 
 def _replay_waves(graph: TaskGraph, machine: MultiGPUMachine, sched) -> ExecutionTrace:

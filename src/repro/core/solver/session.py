@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import FitResult, IterationStats
 from repro.core.metrics import objective_value, rmse
@@ -215,10 +216,15 @@ class TrainingSession:
         if start_iteration < 0:
             raise ValueError("start_iteration must be non-negative")
         self._stop = False
+        callbacks = list(self.callbacks)
+        if obs.enabled():
+            # Observability rides the normal pipeline, appended last so
+            # user callbacks (early stop, checkpoints) act first.
+            callbacks.append(obs.ObservabilityCallback())
         steps = self.solver.iterate(train, test, x0=x0, theta0=theta0)
         initial = next(steps)
         x, theta = initial.x, initial.theta
-        for callback in self.callbacks:
+        for callback in callbacks:
             callback.on_fit_start(self, train, test)
 
         track_test = test is not None and test.nnz
@@ -241,7 +247,7 @@ class TrainingSession:
                 objective=objective_value(train, x, theta, self._lam()) if compute_objective else float("nan"),
             )
             history.append(stats)
-            for callback in self.callbacks:
+            for callback in callbacks:
                 callback.on_iteration_end(self, stats, x, theta)
             if self._stop:
                 steps.close()
@@ -258,6 +264,6 @@ class TrainingSession:
         finalize = getattr(self.solver, "finalize_result", None)
         if finalize is not None:
             result = finalize(result) or result
-        for callback in self.callbacks:
+        for callback in callbacks:
             callback.on_fit_end(self, result)
         return result

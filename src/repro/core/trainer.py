@@ -31,6 +31,7 @@ import warnings
 
 import numpy as np
 
+import repro.obs as obs
 from repro.comm.reduction import ReductionScheme
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import ALSConfig, FitResult
@@ -154,7 +155,17 @@ class CuMF:
         if self.checkpoints is not None and not any(isinstance(cb, CheckpointCallback) for cb in pipeline):
             pipeline.append(CheckpointCallback(self.checkpoints, every=self.checkpoint_every))
         session = TrainingSession(solver, callbacks=pipeline)
-        result = session.run(train, test, x0=x0, theta0=theta0, start_iteration=start_iteration)
+        with obs.get_tracer().span(
+            f"fit:{self.backend}", category="fit", process="host", track="cumf"
+        ):
+            result = session.run(train, test, x0=x0, theta0=theta0, start_iteration=start_iteration)
+        if obs.enabled():
+            registry = obs.get_registry()
+            registry.counter("train.fits", solver=self.backend).inc()
+            if result.history:
+                registry.gauge("train.final_rmse", solver=self.backend).set(
+                    result.history[-1].train_rmse
+                )
         self.result = result
         self._store = None  # invalidate the serving snapshot of a previous fit
         return result

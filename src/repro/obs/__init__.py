@@ -1,0 +1,80 @@
+"""Unified observability: metrics registry, spans, exporters.
+
+One layer watches both tiers.  The **registry**
+(:class:`MetricsRegistry`) holds named counters, gauges and streaming
+histograms labeled by subsystem / tenant / device; the **tracer**
+(:class:`Tracer`) collects spans from training (scheduler kernels,
+transfers, iterations) and serving (requests, lifecycle events) into a
+single timeline; the **exporters** turn both into chrome-tracing JSON
+(one Perfetto view across train + serve), Prometheus text exposition,
+and JSON snapshots for benches.
+
+Everything is opt-in and zero-cost when off::
+
+    import repro.obs as obs
+
+    with obs.observed() as (registry, tracer):
+        model.fit(train)                      # scheduler + iteration spans
+        service.simulate(trace)               # request spans, latency hists
+        print(obs.to_prometheus(registry))    # per-tenant quantiles
+        tracer.dump("timeline.json")          # load in ui.perfetto.dev
+
+Until :func:`enable` (or an :func:`observed` block) runs, every
+instrumented call site receives shared no-op instruments — disabled
+runs produce byte-identical numbers, pinned by ``bench_obs.py``.
+"""
+
+from repro.obs.context import (
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    get_tracer,
+    observed,
+)
+from repro.obs.export import (
+    dump_prometheus,
+    dump_snapshot,
+    merge_chrome,
+    to_prometheus,
+    to_snapshot,
+)
+from repro.obs.instrument import ObservabilityCallback, publish_machine
+from repro.obs.registry import (
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+)
+from repro.obs.stats import event_window_p95, percentile_summary, utilization
+from repro.obs.tracing import NOOP_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_REGISTRY",
+    "NOOP_TRACER",
+    "ObservabilityCallback",
+    "Span",
+    "Tracer",
+    "default_buckets",
+    "disable",
+    "dump_prometheus",
+    "dump_snapshot",
+    "enable",
+    "enabled",
+    "event_window_p95",
+    "get_registry",
+    "get_tracer",
+    "merge_chrome",
+    "observed",
+    "percentile_summary",
+    "publish_machine",
+    "to_prometheus",
+    "to_snapshot",
+    "utilization",
+]

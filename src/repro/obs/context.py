@@ -1,0 +1,94 @@
+"""Process-global observability switch: one registry + tracer, or no-ops.
+
+Observability is strictly opt-in.  Until :func:`enable` runs,
+:func:`get_registry` and :func:`get_tracer` hand out shared no-op
+instruments, so the hooks threaded through training and serving cost a
+dict-free method call and change no behaviour — the zero-cost half of
+the contract (``bench_obs.py`` pins it: byte-identical aggregates,
+< 5% wall overhead).
+
+:func:`enable` activates the process-global default registry/tracer (or
+any pair the caller supplies); :func:`observed` scopes that to a
+``with`` block on fresh instruments, which is what tests, benches and
+examples use so runs never leak series into each other.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NOOP_TRACER, Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "observed",
+]
+
+#: The process-global defaults activated by a bare ``enable()``.
+_DEFAULT_REGISTRY = MetricsRegistry()
+_DEFAULT_TRACER = Tracer()
+
+_ACTIVE: tuple[MetricsRegistry, Tracer] | None = None
+
+
+def enable(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> tuple[MetricsRegistry, Tracer]:
+    """Turn observability on; returns the active ``(registry, tracer)``.
+
+    With no arguments the process-global defaults are (re-)activated,
+    keeping whatever they already accumulated; pass fresh instances for
+    an isolated run.
+    """
+    global _ACTIVE
+    _ACTIVE = (
+        registry if registry is not None else _DEFAULT_REGISTRY,
+        tracer if tracer is not None else _DEFAULT_TRACER,
+    )
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn observability off; instrumented code returns to the no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def enabled() -> bool:
+    """Whether observability is currently on."""
+    return _ACTIVE is not None
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry, or the shared no-op registry when disabled."""
+    return _ACTIVE[0] if _ACTIVE is not None else NOOP_REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The active tracer, or the shared no-op tracer when disabled."""
+    return _ACTIVE[1] if _ACTIVE is not None else NOOP_TRACER
+
+
+@contextmanager
+def observed(registry: MetricsRegistry | None = None, tracer: Tracer | None = None):
+    """Enable observability for a ``with`` block on *fresh* instruments.
+
+    Yields the ``(registry, tracer)`` pair; on exit the previous state
+    (enabled or not) is restored exactly, so scoped observation composes
+    with an already-enabled process.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    pair = enable(
+        registry if registry is not None else MetricsRegistry(),
+        tracer if tracer is not None else Tracer(),
+    )
+    try:
+        yield pair
+    finally:
+        _ACTIVE = previous

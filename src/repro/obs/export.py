@@ -1,0 +1,162 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, chrome merging.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` — the text exposition format a Prometheus
+  scrape endpoint would serve.  Counters export as ``name_total``,
+  histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+  ``_count`` *and* precomputed ``{quantile="..."}`` series (p50 / p95 /
+  p99) so a dashboard reads per-tenant latency quantiles without
+  PromQL;
+* :func:`to_snapshot` — a JSON-safe dict of every series (and span
+  counts) for benches and regression pins;
+* :func:`merge_chrome` — combines chrome-tracing documents (e.g. a
+  scheduler :meth:`ExecutionTrace.to_chrome` and the tracer's own
+  export) into one Perfetto-loadable file, remapping ``pid`` s so the
+  documents stay distinct process groups.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "to_prometheus",
+    "to_snapshot",
+    "merge_chrome",
+    "dump_prometheus",
+    "dump_snapshot",
+]
+
+#: Quantiles precomputed into the Prometheus exposition.
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _sanitize(name: str) -> str:
+    """Metric name in Prometheus charset (dots become underscores)."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _labels_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{_sanitize(k)}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry.metrics():
+        name = _sanitize(metric.name)
+        if metric.kind == "counter":
+            full = f"{name}_total"
+            if full not in typed:
+                lines.append(f"# TYPE {full} counter")
+                typed.add(full)
+            lines.append(f"{full}{_labels_text(metric.labels)} {_fmt(metric.value)}")
+        elif metric.kind == "gauge":
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(f"{name}{_labels_text(metric.labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            for bound, cum in metric.cumulative_buckets():
+                le = _labels_text(metric.labels, (("le", _fmt(bound)),))
+                lines.append(f"{name}_bucket{le} {cum}")
+            lines.append(f"{name}_sum{_labels_text(metric.labels)} {_fmt(metric.sum)}")
+            lines.append(f"{name}_count{_labels_text(metric.labels)} {metric.count}")
+            for q in _QUANTILES:
+                ql = _labels_text(metric.labels, (("quantile", _fmt(q)),))
+                lines.append(f"{name}{ql} {_fmt(metric.quantile(q))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_snapshot(registry: MetricsRegistry, tracer=None) -> dict:
+    """A JSON-safe snapshot of every series (plus span counts).
+
+    Counters and gauges carry their value; histograms carry count / sum
+    / mean / min / max and the p50/p95/p99 quantiles.  When a tracer is
+    passed, per-process span counts ride along so a bench can assert
+    "one timeline, both tiers" without parsing chrome JSON.
+    """
+    series = []
+    for metric in registry.metrics():
+        entry: dict = {
+            "name": metric.name,
+            "kind": metric.kind,
+            "labels": dict(metric.labels),
+        }
+        if isinstance(metric, Histogram):
+            entry.update(
+                count=metric.count,
+                sum=metric.sum,
+                mean=metric.mean,
+                min=metric.vmin if metric.count else 0.0,
+                max=metric.vmax if metric.count else 0.0,
+                quantiles={_fmt(q): metric.quantile(q) for q in _QUANTILES},
+            )
+        else:
+            entry["value"] = metric.value
+        series.append(entry)
+    snapshot: dict = {"metrics": series}
+    if tracer is not None:
+        snapshot["spans"] = {
+            "total": len(tracer.spans),
+            "per_process": {
+                name: len(tracer.spans_for(name)) for name in tracer.processes()
+            },
+        }
+    return snapshot
+
+
+def merge_chrome(*docs: dict) -> dict:
+    """Merge chrome-tracing documents into one, keeping pids distinct.
+
+    Each input document's pids are remapped into a fresh range, so a
+    scheduler trace exported by :meth:`ExecutionTrace.to_chrome` and a
+    tracer timeline stay separate process groups in Perfetto instead of
+    colliding on pid 0.
+    """
+    events: list[dict] = []
+    next_pid = 0
+    for doc in docs:
+        remap: dict = {}
+        for event in doc.get("traceEvents", []):
+            pid = event.get("pid", 0)
+            if pid not in remap:
+                remap[pid] = next_pid
+                next_pid += 1
+            out = dict(event)
+            out["pid"] = remap[pid]
+            events.append(out)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_prometheus(registry: MetricsRegistry, path: str) -> str:
+    """Write :func:`to_prometheus` output to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(to_prometheus(registry))
+    return path
+
+
+def dump_snapshot(registry: MetricsRegistry, path: str, tracer=None) -> str:
+    """Write :func:`to_snapshot` JSON to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(to_snapshot(registry, tracer), fh, indent=2)
+    return path

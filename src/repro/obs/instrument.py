@@ -1,0 +1,97 @@
+"""Instrumentation glue: training callback + machine counter publishing.
+
+Two pieces live here because they know about the rest of the codebase
+(the lower obs modules are dependency-free):
+
+* :class:`ObservabilityCallback` — a ``FitCallback``-shaped object that
+  :class:`~repro.core.solver.session.TrainingSession` appends
+  automatically while observability is enabled.  Every iteration lands
+  as a counter tick, a seconds histogram, RMSE gauges and a span on the
+  training timeline; at fit end, the solver's simulated machine (when
+  it has one) is published via :func:`publish_machine`.
+* :func:`publish_machine` — folds ``DeviceCounters`` and
+  ``TransferEngine`` totals into registry gauges, the live-run feed for
+  roofline-style analysis (the closed-form path keeps using
+  :class:`~repro.perf.counters.OpCounter` directly).
+"""
+
+from __future__ import annotations
+
+from repro.obs.context import get_registry, get_tracer
+from repro.perf.counters import OpCounter
+
+__all__ = ["ObservabilityCallback", "publish_machine"]
+
+
+def publish_machine(machine, *, solver: str = "", registry=None) -> None:
+    """Publish a ``MultiGPUMachine``'s counters as registry gauges.
+
+    Emits the :meth:`OpCounter.publish` roofline set plus transfer
+    totals and per-device gauges; ``solver`` labels every series when
+    given so runs of different backends stay distinct.
+    """
+    if registry is None:
+        registry = get_registry()
+    labels = {"solver": solver} if solver else {}
+    OpCounter.from_machine(machine).publish(registry, **labels)
+    engine = machine.transfer_engine
+    registry.gauge("transfer.bytes_total", **labels).set(engine.total_bytes_moved)
+    registry.gauge("transfer.seconds_total", **labels).set(engine.total_transfer_seconds)
+    registry.gauge("transfer.batches", **labels).set(engine.batches)
+    for device in machine.devices:
+        dev_labels = dict(labels, device=f"gpu:{device.device_id}")
+        counters = device.counters
+        registry.gauge("gpu.busy_seconds", **dev_labels).set(counters.busy_seconds)
+        registry.gauge("gpu.kernel_launches", **dev_labels).set(counters.kernel_launches)
+        registry.gauge("gpu.achieved_gflops", **dev_labels).set(counters.achieved_gflops())
+
+
+class ObservabilityCallback:
+    """Streams ``TrainingSession`` progress into the active instruments.
+
+    Duck-typed against ``FitCallback`` (no core import, so ``repro.obs``
+    stays importable on its own).  Iteration spans sit on the solver's
+    simulated timeline: ``[cumulative - seconds, cumulative]``, which
+    lines up with the scheduler kernel/transfer spans adopted from
+    ``execute_graph`` under the same ``train`` process.
+    """
+
+    def __init__(self, registry=None, tracer=None):
+        self._registry = registry
+        self._tracer = tracer
+        self._solver = ""
+
+    @property
+    def registry(self):
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def tracer(self):
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def on_fit_start(self, session, train, test) -> None:
+        solver = getattr(session, "solver", None)
+        self._solver = str(getattr(solver, "name", "") or type(solver).__name__)
+        self.registry.counter("train.sessions", solver=self._solver).inc()
+
+    def on_iteration_end(self, session, stats, x, theta) -> None:
+        registry = self.registry
+        registry.counter("train.iterations", solver=self._solver).inc()
+        registry.histogram("train.iteration_seconds", solver=self._solver).observe(stats.seconds)
+        registry.gauge("train.rmse", solver=self._solver, split="train").set(stats.train_rmse)
+        if stats.test_rmse == stats.test_rmse:  # skip NaN (no test split)
+            registry.gauge("train.rmse", solver=self._solver, split="test").set(stats.test_rmse)
+        self.tracer.add_span(
+            f"iteration {stats.iteration}",
+            start=stats.cumulative_seconds - stats.seconds,
+            end=stats.cumulative_seconds,
+            category="iteration",
+            process="train",
+            track=f"solver:{self._solver}",
+            train_rmse=stats.train_rmse,
+        )
+
+    def on_fit_end(self, session, result) -> None:
+        machine = getattr(getattr(session, "solver", None), "machine", None)
+        if machine is not None:
+            publish_machine(machine, solver=self._solver, registry=self.registry)

@@ -1,0 +1,314 @@
+"""Named counters, gauges and streaming histograms behind one registry.
+
+The registry is the *numbers* half of the observability layer (spans
+live in :mod:`repro.obs.tracing`).  Three instrument kinds cover what
+the training and serving tiers need to expose:
+
+* :class:`Counter` — a monotone total (requests served, iterations run,
+  graphs executed);
+* :class:`Gauge` — a last-written value (rolling p95, device busy
+  seconds, arithmetic intensity of the live run);
+* :class:`Histogram` — a streaming distribution over fixed log-spaced
+  buckets with O(1) memory per series and :meth:`Histogram.quantile`
+  queries — the instrument behind per-tenant latency quantiles.
+
+Series are identified by a metric name plus a label set
+(``registry.counter("serve.requests", tenant="free", status="ok")``),
+so one metric fans out by subsystem / tenant / device exactly like a
+Prometheus time series.  ``counter`` / ``gauge`` / ``histogram`` are
+get-or-create: the same (name, labels) pair always returns the same
+instrument, and asking for it under a different kind raises.
+
+Enable/disable plumbing lives in :mod:`repro.obs.context`; when
+observability is off, call sites receive :data:`NOOP_REGISTRY`, whose
+instruments swallow every update — the cheap-no-op half of the
+zero-cost contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_REGISTRY",
+    "default_buckets",
+]
+
+
+def default_buckets() -> tuple[float, ...]:
+    """Log-spaced bucket bounds: 1-2-5 per decade from 100 ns to 5000 s.
+
+    Wide enough for simulated kernel times (microseconds) and whole-fit
+    wall clocks (minutes) alike; a histogram needing a different range
+    passes explicit ``buckets=`` at creation.
+    """
+    return tuple(m * 10.0**e for e in range(-7, 4) for m in (1.0, 2.0, 5.0))
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotone running total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative — counters only go up)."""
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for signed values")
+        self.value += n
+
+
+class Gauge:
+    """A value that can be set (or nudged) to anything at any time."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (either sign)."""
+        self.value += delta
+
+
+class Histogram:
+    """A streaming distribution: fixed buckets, running sum/count/min/max.
+
+    Observations land in log-spaced buckets (``value <= bound`` picks the
+    bucket, Prometheus ``le`` semantics; anything past the last bound
+    goes to an overflow bucket), so memory stays O(buckets) no matter how
+    many values stream through.  :meth:`quantile` interpolates linearly
+    inside the bucket where the requested rank falls, clamped to the
+    observed min/max — exact at the extremes, bucket-resolution in
+    between, which is the standard trade of a streaming histogram.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum", "vmin", "vmax", "_bounds_arr")
+
+    def __init__(self, name: str, labels: tuple, buckets: Iterable[float] | None = None):
+        self.name = name
+        self.labels = labels
+        bounds = tuple(sorted(buckets)) if buckets is not None else default_buckets()
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._bounds_arr = np.asarray(bounds, dtype=np.float64)
+        self.counts = np.zeros(len(bounds) + 1, dtype=np.int64)  # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        idx = int(np.searchsorted(self._bounds_arr, value, side="left"))
+        self.counts[idx] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a whole array in one vectorised pass."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self._bounds_arr, arr, side="left")
+        self.counts += np.bincount(idx, minlength=self.counts.size)
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+        self.vmin = min(self.vmin, float(arr.min()))
+        self.vmax = max(self.vmax, float(arr.max()))
+
+    @property
+    def mean(self) -> float:
+        """Mean of everything observed (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the streamed values."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0.0
+        lo = self.vmin
+        for i, n in enumerate(self.counts):
+            if n:
+                hi = self.bounds[i] if i < len(self.bounds) else self.vmax
+                hi = min(float(hi), self.vmax)
+                lo_eff = min(max(lo, self.vmin), hi)
+                if cum + n >= target:
+                    frac = (target - cum) / n
+                    return lo_eff + (hi - lo_eff) * frac
+                cum += n
+                lo = hi
+            elif i < len(self.bounds):
+                lo = max(lo, float(self.bounds[i]))
+        return self.vmax
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        cum = 0
+        for bound, n in zip(self.bounds, self.counts[:-1]):
+            cum += int(n)
+            out.append((float(bound), cum))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric series in one process.
+
+    One registry is typically shared by the whole run (see
+    :func:`repro.obs.enable`); isolated registries are just instances,
+    which is what tests and scoped :func:`repro.obs.observed` blocks use.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Mapping, **kwargs):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        key = (name, _label_key(labels))
+        existing = self._series.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as a {existing.kind}, "
+                    f"not a {cls.kind}"
+                )
+            return existing
+        metric = cls(name, key[1], **kwargs)
+        self._series[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter series for (``name``, ``labels``), created on first use."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge series for (``name``, ``labels``), created on first use."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None, **labels) -> Histogram:
+        """The histogram series for (``name``, ``labels``), created on first use.
+
+        ``buckets`` only applies at creation; later lookups return the
+        existing series unchanged.
+        """
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> list:
+        """Every series, sorted by (name, labels) for stable exports."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    def get(self, name: str, **labels):
+        """The existing series for (``name``, ``labels``), or ``None``."""
+        return self._series.get((name, _label_key(labels)))
+
+    def value(self, name: str, **labels) -> float:
+        """Convenience: a counter/gauge's value (0.0 for a missing series)."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise ValueError(f"metric {name!r} is a histogram; query quantiles instead")
+        return metric.value
+
+    def reset(self) -> None:
+        """Drop every series (a fresh run's blank slate)."""
+        self._series.clear()
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({len(self._series)} series)"
+
+
+# ---------------------------------------------------------------------- #
+# the disabled path: one shared instrument that swallows everything
+# ---------------------------------------------------------------------- #
+class _NoopInstrument:
+    """Stands in for every instrument kind when observability is off."""
+
+    kind = "noop"
+    name = ""
+    labels: tuple = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def cumulative_buckets(self) -> list:
+        return []
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class _NoopRegistry(MetricsRegistry):
+    """A registry that records nothing and allocates nothing."""
+
+    def counter(self, name: str, **labels) -> Counter:
+        return _NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return _NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        return _NOOP_INSTRUMENT  # type: ignore[return-value]
+
+
+#: Shared no-op registry handed out while observability is disabled.
+NOOP_REGISTRY = _NoopRegistry()

@@ -1,0 +1,251 @@
+"""Span-based tracing with one shared context across train and serve.
+
+A :class:`Tracer` collects :class:`Span` s from every subsystem into a
+single timeline.  Spans are grouped two levels deep, mirroring the
+chrome-tracing model that Perfetto renders:
+
+* ``process`` — the subsystem lane (``"train"``, ``"serve"``,
+  ``"host"``); each becomes one chrome ``pid`` with a named header;
+* ``track`` — the worker lane inside it (``"gpu:1"``,
+  ``"host:0->gpu:1"``, ``"replica:2"``, ``"lifecycle"``); each becomes
+  a chrome ``tid``.
+
+Timestamps are whatever clock the caller lives on — the training
+machine's simulated seconds, the serving replay's simulated timeline,
+or wall-clock seconds via :meth:`Tracer.span` — and stay per-process,
+so one exported file shows the training iteration next to the serving
+windows it fed without pretending the clocks are synchronised.
+
+:meth:`Tracer.adopt_execution` imports a scheduler
+:class:`~repro.core.schedule.ExecutionTrace` (kernel / transfer /
+compute events) into the shared timeline; it duck-types on
+``trace.events`` so this module depends on nothing above it.
+
+When observability is disabled, call sites receive :data:`NOOP_TRACER`,
+whose methods do nothing and whose context managers are free.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NOOP_TRACER"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed (or instant) occurrence on the shared timeline."""
+
+    name: str
+    category: str
+    process: str
+    track: str
+    start: float
+    end: float
+    phase: str = "X"  # chrome phases: "X" complete span, "i" instant
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in its own clock's seconds (0 for instants)."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans from every subsystem into one exportable timeline."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    def clear(self) -> None:
+        """Drop every span (and restart the wall-clock epoch)."""
+        self.spans.clear()
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def add_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        category: str = "span",
+        process: str = "host",
+        track: str = "main",
+        **args,
+    ) -> Span:
+        """Record one complete span on an explicit clock."""
+        span = Span(name, category, process, track, float(start), float(end), "X", args)
+        self.spans.append(span)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        *,
+        ts: float,
+        category: str = "event",
+        process: str = "host",
+        track: str = "main",
+        **args,
+    ) -> Span:
+        """Record a zero-duration marker (chrome instant event)."""
+        span = Span(name, category, process, track, float(ts), float(ts), "i", args)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "span",
+        process: str = "host",
+        track: str = "main",
+        clock=None,
+        **args,
+    ):
+        """Context manager recording a span around its body.
+
+        ``clock`` is any zero-argument callable returning seconds; the
+        default is wall-clock time relative to the tracer's epoch, which
+        is what host-side phases (a whole ``fit``, an export) want.
+        """
+        read = clock if clock is not None else (lambda: time.perf_counter() - self._epoch)
+        start = read()
+        try:
+            yield self
+        finally:
+            self.add_span(
+                name, start=start, end=read(), category=category, process=process, track=track, **args
+            )
+
+    def adopt_execution(self, trace, *, process: str = "train", offset: float = 0.0, **args) -> int:
+        """Import a scheduler :class:`ExecutionTrace` into the timeline.
+
+        Every trace event becomes a span: kernels on their device track,
+        transfers on their ``src->dst`` link track, host compute on
+        ``host``.  ``offset`` shifts the whole trace — event-mode
+        schedules time each graph from zero, so callers pass the machine
+        clock at execution start to keep iterations in sequence.
+        Returns the number of spans adopted.
+        """
+        scheduler = getattr(trace, "scheduler", "")
+        n = 0
+        for event in trace.events:
+            extra = dict(args)
+            if scheduler:
+                extra["scheduler"] = scheduler
+            if event.nbytes:
+                extra["nbytes"] = event.nbytes
+            self.add_span(
+                event.name,
+                start=offset + event.start,
+                end=offset + event.end,
+                category=event.kind,
+                process=process,
+                track=event.worker,
+                **extra,
+            )
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def spans_for(self, process: str | None = None, category: str | None = None) -> list[Span]:
+        """Spans filtered by process and/or category."""
+        return [
+            s
+            for s in self.spans
+            if (process is None or s.process == process)
+            and (category is None or s.category == category)
+        ]
+
+    def processes(self) -> tuple[str, ...]:
+        """Process names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.process, None)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_chrome(self) -> dict:
+        """The merged chrome-tracing JSON object (Perfetto-loadable).
+
+        One ``pid`` per process with a ``process_name`` metadata header,
+        the span's track as ``tid``; timestamps are exported in
+        microseconds as the format expects.
+        """
+        pids = {name: i for i, name in enumerate(self.processes())}
+        events: list[dict] = []
+        for name, pid in pids.items():
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        for span in self.spans:
+            event = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": span.phase,
+                "ts": span.start * 1e6,
+                "pid": pids[span.process],
+                "tid": span.track,
+                "args": dict(span.args),
+            }
+            if span.phase == "X":
+                event["dur"] = span.duration * 1e6
+            else:
+                event["s"] = "t"  # instant scope: thread
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def dump(self, path: str) -> str:
+        """Write :meth:`to_chrome` JSON to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+        return path
+
+
+class _NoopTracer(Tracer):
+    """Stands in for the tracer while observability is off."""
+
+    def __init__(self) -> None:  # no span list, no epoch bookkeeping
+        self.spans = []
+
+    def add_span(self, name, **kwargs):  # type: ignore[override]
+        return None
+
+    def instant(self, name, **kwargs):  # type: ignore[override]
+        return None
+
+    @contextmanager
+    def span(self, name, **kwargs):  # type: ignore[override]
+        yield self
+
+    def adopt_execution(self, trace, **kwargs) -> int:  # type: ignore[override]
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+#: Shared no-op tracer handed out while observability is disabled.
+NOOP_TRACER = _NoopTracer()

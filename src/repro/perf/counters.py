@@ -62,3 +62,50 @@ class OpCounter:
         for key, value in other.named.items():
             merged.named[key] = merged.named.get(key, 0.0) + value
         return merged
+
+    @classmethod
+    def from_machine(cls, machine) -> "OpCounter":
+        """Fold a ``MultiGPUMachine``'s live counters into one OpCounter.
+
+        Device flops become ``flops``, per-space kernel traffic becomes
+        ``bytes_read`` (with a named breakdown per memory space), and
+        interconnect traffic lands in ``bytes_written`` plus named
+        transfer totals — so the same roofline arithmetic that runs on
+        closed-form Table 3 numbers runs on a measured execution.
+        """
+        counter = cls()
+        for device in machine.devices:
+            counters = device.counters
+            counter.add_flops(counters.flops)
+            counter.add_named("kernel_launches", counters.kernel_launches)
+            counter.add_named("kernel_busy_seconds", counters.busy_seconds)
+            for kind, nbytes in counters.bytes_by_space.items():
+                counter.add_read(nbytes)
+                space = getattr(kind, "value", kind)
+                counter.add_named(f"bytes[{space}]", nbytes)
+        engine = machine.transfer_engine
+        counter.add_write(engine.total_bytes_moved)
+        counter.add_named("transfer_bytes", engine.total_bytes_moved)
+        counter.add_named("transfer_seconds", engine.total_transfer_seconds)
+        counter.add_named("transfer_batches", engine.batches)
+        return counter
+
+    def publish(self, registry=None, *, subsystem: str = "perf", **labels) -> None:
+        """Export the counter as gauges on an observability registry.
+
+        Uses the active registry by default (a no-op registry when
+        observability is disabled, so callers need no guard).  Imported
+        lazily because ``repro.obs`` instruments on top of this module.
+        """
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        registry.gauge(f"{subsystem}.flops", **labels).set(self.flops)
+        registry.gauge(f"{subsystem}.bytes_read", **labels).set(self.bytes_read)
+        registry.gauge(f"{subsystem}.bytes_written", **labels).set(self.bytes_written)
+        registry.gauge(f"{subsystem}.arithmetic_intensity", **labels).set(
+            self.arithmetic_intensity() if self.bytes_total else 0.0
+        )
+        for name, value in self.named.items():
+            registry.gauge(f"{subsystem}.named", op=name, **labels).set(value)

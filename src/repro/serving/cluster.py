@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.serving.routing import (
     LeastLoadedRouter,
     PowerOfTwoRouter,
@@ -200,6 +201,7 @@ class ServingCluster:
         if self.n_active == 1:
             raise RuntimeError("cannot drain the last active replica")
         self._active[replica] = False
+        self._mark_lifecycle("drain", replica)
 
     def restore(self, replica: int) -> None:
         """Return a drained replica to rotation."""
@@ -208,6 +210,21 @@ class ServingCluster:
         if self._active[replica]:
             raise ValueError(f"replica {replica} is not draining")
         self._active[replica] = True
+        self._mark_lifecycle("restore", replica)
+
+    def _mark_lifecycle(self, action: str, replica: int) -> None:
+        """Tick + timestamp a rotation change on that replica's clock."""
+        if not obs.enabled():
+            return
+        obs.get_registry().counter("serve.lifecycle", action=action).inc()
+        obs.get_tracer().instant(
+            f"{action} replica {replica}",
+            ts=self.replicas[replica].stats.simulated_seconds,
+            category="lifecycle",
+            process="serve",
+            track="lifecycle",
+            replica=replica,
+        )
 
     # ------------------------------------------------------------------ #
     # ServingBackend protocol: routing surface

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+import repro.obs as obs
 from repro.serving.lifecycle.refresh import RefreshResult, run_refresh_session
 from repro.serving.lifecycle.registry import Snapshot, SnapshotRegistry
 from repro.serving.lifecycle.rollout import RolloutController
@@ -165,27 +166,74 @@ class RecommenderService:
         )
         counters[outcome] += 1
 
+    def _observe(self, response: ServeResponse, start_s: float | None = None) -> ServeResponse:
+        """Stream one data-plane outcome into the active instruments.
+
+        Every response ticks ``serve.requests`` (labelled by kind /
+        status / tenant); served requests also land in the per-tenant
+        latency histogram and become a request span on the serving
+        timeline, anchored at the replica's simulated clock.
+        """
+        if not obs.enabled():
+            return response
+        tenant = response.tenant or "default"
+        registry = obs.get_registry()
+        registry.counter(
+            "serve.requests", kind=response.kind, status=response.status, tenant=tenant
+        ).inc()
+        if response.status in ("ok", "degraded") and start_s is not None:
+            registry.histogram("serve.latency_s", tenant=tenant).observe(response.latency_s)
+            obs.get_tracer().add_span(
+                f"{response.kind}:{tenant}",
+                start=start_s,
+                end=start_s + response.latency_s,
+                category="request",
+                process="serve",
+                track=f"replica:{response.replica}",
+                status=response.status,
+                version=response.version,
+            )
+        return response
+
+    def _lifecycle(self, action: str, **args) -> None:
+        """Mark an admin-plane verb on the serving timeline."""
+        if not obs.enabled():
+            return
+        obs.get_registry().counter("serve.lifecycle", action=action).inc()
+        obs.get_tracer().instant(
+            action,
+            ts=self._admission_clock(),
+            category="lifecycle",
+            process="serve",
+            track="lifecycle",
+            **args,
+        )
+
     def _error(self, kind: str, exc: Exception, replica: int = -1, tenant: str = "") -> ServeResponse:
         self._n_errors += 1
         self._count_tenant(tenant or "default", "error")
-        return ServeResponse(
-            kind=kind,
-            status="error",
-            replica=replica,
-            error=str(exc),
-            error_type=type(exc).__name__,
-            tenant=tenant,
+        return self._observe(
+            ServeResponse(
+                kind=kind,
+                status="error",
+                replica=replica,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                tenant=tenant,
+            )
         )
 
     def _shed(self, kind: str, tenant: str) -> ServeResponse:
         """The typed rejection: the model never sees an over-cap request."""
         self._count_tenant(tenant, "shed")
-        return ServeResponse(
-            kind=kind,
-            status="shed",
-            error=f"tenant {tenant!r} over rate cap",
-            error_type="ShedError",
-            tenant=tenant,
+        return self._observe(
+            ServeResponse(
+                kind=kind,
+                status="shed",
+                error=f"tenant {tenant!r} over rate cap",
+                error_type="ShedError",
+                tenant=tenant,
+            )
         )
 
     def _admission_clock(self) -> float:
@@ -216,14 +264,17 @@ class RecommenderService:
             return self._error("predict", exc, tenant=request.tenant)
         self._counters["predict"] += 1
         self._count_tenant(request.tenant, "ok")
-        return ServeResponse(
-            kind="predict",
-            status="ok",
-            payload=payload,
-            latency_s=unit.stats.simulated_seconds - before,
-            version=unit.version,
-            replica=replica,
-            tenant=request.tenant,
+        return self._observe(
+            ServeResponse(
+                kind="predict",
+                status="ok",
+                payload=payload,
+                latency_s=unit.stats.simulated_seconds - before,
+                version=unit.version,
+                replica=replica,
+                tenant=request.tenant,
+            ),
+            start_s=before,
         )
 
     def recommend(
@@ -279,14 +330,17 @@ class RecommenderService:
             return self._error("recommend", exc, replica=replica, tenant=request.tenant)
         self._counters["recommend"] += 1
         self._count_tenant(request.tenant, status)
-        return ServeResponse(
-            kind="recommend",
-            status=status,
-            payload=payload,
-            latency_s=unit.stats.simulated_seconds - before,
-            version=unit.version,
-            replica=replica,
-            tenant=request.tenant,
+        return self._observe(
+            ServeResponse(
+                kind="recommend",
+                status=status,
+                payload=payload,
+                latency_s=unit.stats.simulated_seconds - before,
+                version=unit.version,
+                replica=replica,
+                tenant=request.tenant,
+            ),
+            start_s=before,
         )
 
     def rate(
@@ -323,7 +377,9 @@ class RecommenderService:
         self._counters["rate"] += 1
         self._count_tenant(request.tenant, "ok")
         version = self.backend.serving_units()[0].version
-        return ServeResponse(kind="rate", status="ok", payload=n_events, version=version, tenant=request.tenant)
+        return self._observe(
+            ServeResponse(kind="rate", status="ok", payload=n_events, version=version, tenant=request.tenant)
+        )
 
     # ------------------------------------------------------------------ #
     # admin plane: operator verbs, which raise on misuse
@@ -334,7 +390,9 @@ class RecommenderService:
         Write-through on a replicated backend; the ratings are recorded
         in the interaction log (when attached) for the next refresh.
         """
-        return self.backend.fold_in(items, ratings)
+        user = self.backend.fold_in(items, ratings)
+        self._lifecycle("fold_in", user=user)
+        return user
 
     def grow_items(self, new_theta: np.ndarray) -> int:
         """Append item rows on every serving unit; returns the first new id."""
@@ -383,6 +441,7 @@ class RecommenderService:
             self.backend.swap_snapshot(refreshed.x, refreshed.theta)
             self.ratings = refreshed.ratings
         self.log.clear()
+        self._lifecycle("refresh", tag=tag)
         return refreshed
 
     def _adopt_if_pending(self, version: int) -> None:
@@ -394,7 +453,9 @@ class RecommenderService:
     def snapshot(self, tag: str = "") -> int:
         """Publish the live factors as a new registry version; returns it."""
         registry = self._require_registry()
-        return registry.publish_store(self.backend.serving_units()[0], tag=tag)
+        version = registry.publish_store(self.backend.serving_units()[0], tag=tag)
+        self._lifecycle("snapshot", version=version)
+        return version
 
     def rollout(self, version: int | None = None) -> Snapshot:
         """Roll every serving unit to ``version`` (default: latest) now.
@@ -404,6 +465,7 @@ class RecommenderService:
         """
         snap = self._controller().rollout(version)
         self._adopt_if_pending(snap.version)
+        self._lifecycle("rollout", version=snap.version)
         return snap
 
     def plan_rollout(
@@ -447,6 +509,7 @@ class RecommenderService:
         """
         registry = self._require_registry()
         self._controller().validate_target(version)
+        self._lifecycle("rollback", target=version)
         return self.rollout(registry.rollback(version))
 
     def plan_rollback(

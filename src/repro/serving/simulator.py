@@ -36,7 +36,9 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.datasets.synthetic import powerlaw_weights
+from repro.obs.stats import event_window_p95, percentile_summary, utilization
 from repro.serving.tenancy import (
     DEFAULT_TENANT,
     STATUS_DEGRADED,
@@ -353,6 +355,34 @@ class TrafficReport:
         return text
 
 
+def _publish_report(report: TrafficReport, served: np.ndarray, tenants: np.ndarray | None) -> None:
+    """Stream a finished replay's aggregates into the active registry.
+
+    Served latencies land in the same per-tenant ``serve.latency_s``
+    histograms the facade data plane feeds, so one Prometheus export
+    covers interactive calls and replays alike; headline aggregates
+    become gauges a dashboard (or a future autoscaler) reads directly.
+    """
+    registry = obs.get_registry()
+    if tenants is None:
+        registry.histogram("serve.latency_s", tenant="default").observe_many(served)
+    else:
+        for tenant in np.unique(tenants):
+            registry.histogram("serve.latency_s", tenant=str(tenant)).observe_many(
+                served[tenants == tenant]
+            )
+    registry.counter("serve.replayed").inc(report.n_requests)
+    if report.n_shed:
+        registry.counter("serve.shed").inc(report.n_shed)
+    if report.n_dropped:
+        registry.counter("serve.dropped").inc(report.n_dropped)
+    registry.gauge("serve.latency_p95_s").set(report.latency_p95_s)
+    if report.makespan_s > 0:
+        registry.gauge("serve.throughput_qps").set(report.throughput_qps)
+    for r, util in enumerate(report.per_replica_utilization):
+        registry.gauge("serve.utilization", replica=f"replica:{r}").set(util)
+
+
 class RequestSimulator:
     """Replays a :class:`QueryTrace` through a store in batched windows.
 
@@ -450,6 +480,8 @@ class RequestSimulator:
         n_batches = 0
         i = 0
         n_served = n
+        obs_on = obs.enabled()
+        tracer = obs.get_tracer()
         wall_start = time.perf_counter()
         while i < n:
             # Apply lifecycle events the clock has reached.
@@ -509,6 +541,17 @@ class RequestSimulator:
             version_queries[version] = version_queries.get(version, 0) + (j - i)
             service_total += service
             n_batches += 1
+            if obs_on:
+                tracer.add_span(
+                    f"batch[{j - i}]",
+                    start=done - service,
+                    end=done,
+                    category="request",
+                    process="serve",
+                    track=f"replica:{choice}",
+                    n=j - i,
+                    version=version,
+                )
             i = j
         # Late events (scheduled past the last arrival) still apply, so a
         # rollout that outlives the trace completes instead of wedging the
@@ -523,10 +566,7 @@ class RequestSimulator:
         window_p95 = 0.0
         if pending and n_served:
             lo, hi = pending[0].time, pending[-1].time
-            in_window = (arrivals[:n_served] >= lo) & (arrivals[:n_served] <= hi)
-            window_queries = int(in_window.sum())
-            if window_queries:
-                window_p95 = float(np.percentile(served[in_window], 95))
+            window_queries, window_p95 = event_window_p95(arrivals[:n_served], served, lo, hi)
         per_tenant: dict = {}
         if trace.tenants is not None:
             # Unscheduled replay of a labelled trace: everything served in
@@ -534,7 +574,8 @@ class RequestSimulator:
             status = np.zeros(n, dtype=np.int8)
             status[:n_served] = STATUS_OK
             per_tenant = build_tenant_reports(trace.tenants, status, latencies, makespan, self.policies)
-        return TrafficReport(
+        p50, p95, lat_max = percentile_summary(served)
+        report = TrafficReport(
             label=trace.label,
             n_requests=n,
             n_batches=n_batches,
@@ -542,17 +583,15 @@ class RequestSimulator:
             makespan_s=makespan,
             throughput_qps=n_served / makespan if makespan > 0 else float("inf"),
             service_seconds=service_total,
-            latency_p50_s=float(np.percentile(served, 50)) if n_served else 0.0,
-            latency_p95_s=float(np.percentile(served, 95)) if n_served else 0.0,
-            latency_max_s=float(served.max()) if n_served else 0.0,
+            latency_p50_s=p50,
+            latency_p95_s=p95,
+            latency_max_s=lat_max,
             wall_seconds=wall,
             n_replicas=n_replicas,
             router=backend.routing_label(),
             per_replica_queries=tuple(replica_queries),
             per_replica_busy_s=tuple(replica_busy),
-            per_replica_utilization=tuple(
-                busy / makespan if makespan > 0 else 0.0 for busy in replica_busy
-            ),
+            per_replica_utilization=utilization(replica_busy, makespan),
             per_version_queries=version_queries,
             n_dropped=n - n_served,
             n_events=len(pending),
@@ -560,6 +599,10 @@ class RequestSimulator:
             window_p95_s=window_p95,
             per_tenant=per_tenant,
         )
+        if obs_on:
+            tenants = trace.tenants[:n_served] if trace.tenants is not None else None
+            _publish_report(report, served, tenants)
+        return report
 
     # ------------------------------------------------------------------ #
     # scheduled replay: admission caps + WFQ dispatch + overload shedding
@@ -606,6 +649,8 @@ class RequestSimulator:
         tenant_backlog: dict[str, int] = {}  # live queued count per tenant
         n_pending = 0
         a = 0  # next arrival not yet through admission
+        obs_on = obs.enabled()
+        tracer = obs.get_tracer()
         wall_start = time.perf_counter()
 
         def shed_overflow() -> int:
@@ -750,6 +795,17 @@ class RequestSimulator:
                 service_total += service
                 n_batches += 1
                 n_pending -= len(members)
+                if obs_on:
+                    tracer.add_span(
+                        f"batch[{len(members)}] k={k_eff}",
+                        start=done - service,
+                        end=done,
+                        category="request",
+                        process="serve",
+                        track=f"replica:{choice}",
+                        n=len(members),
+                        version=version,
+                    )
             server_free[choice] = done
         while next_event < len(pending_events):
             pending_events[next_event].action()
@@ -763,17 +819,17 @@ class RequestSimulator:
         window_p95 = 0.0
         if pending_events and n_served:
             lo, hi = pending_events[0].time, pending_events[-1].time
-            in_window = (arrivals >= lo) & (arrivals <= hi) & served_mask
-            window_queries = int(in_window.sum())
-            if window_queries:
-                window_p95 = float(np.percentile(latencies[in_window], 95))
+            window_queries, window_p95 = event_window_p95(
+                arrivals, latencies, lo, hi, served_mask=served_mask
+            )
         per_tenant = build_tenant_reports(tenants, status, latencies, makespan, table)
         shed_mask = (
             (status == STATUS_SHED_CAP)
             | (status == STATUS_SHED_DEADLINE)
             | (status == STATUS_SHED_QUEUE)
         )
-        return TrafficReport(
+        p50, p95, lat_max = percentile_summary(served)
+        report = TrafficReport(
             label=trace.label,
             n_requests=n,
             n_batches=n_batches,
@@ -781,17 +837,15 @@ class RequestSimulator:
             makespan_s=makespan,
             throughput_qps=n_served / makespan if makespan > 0 else float("inf"),
             service_seconds=service_total,
-            latency_p50_s=float(np.percentile(served, 50)) if n_served else 0.0,
-            latency_p95_s=float(np.percentile(served, 95)) if n_served else 0.0,
-            latency_max_s=float(served.max()) if n_served else 0.0,
+            latency_p50_s=p50,
+            latency_p95_s=p95,
+            latency_max_s=lat_max,
             wall_seconds=wall,
             n_replicas=n_replicas,
             router=backend.routing_label(),
             per_replica_queries=tuple(replica_queries),
             per_replica_busy_s=tuple(replica_busy),
-            per_replica_utilization=tuple(
-                busy / makespan if makespan > 0 else 0.0 for busy in replica_busy
-            ),
+            per_replica_utilization=utilization(replica_busy, makespan),
             per_version_queries=version_queries,
             n_dropped=int((status == 0).sum()),
             n_events=len(pending_events),
@@ -801,3 +855,6 @@ class RequestSimulator:
             n_shed=int(shed_mask.sum()),
             n_degraded=int((status == STATUS_DEGRADED).sum()),
         )
+        if obs_on:
+            _publish_report(report, served, tenants[served_mask])
+        return report

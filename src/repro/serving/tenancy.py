@@ -38,6 +38,8 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.obs.stats import percentile_summary
+
 __all__ = [
     "DEFAULT_TENANT",
     "TenantPolicy",
@@ -388,6 +390,7 @@ def build_tenant_reports(
         violations = 0
         if deadline_ms is not None and n_served:
             violations = int((served_lat > deadline_ms / 1e3).sum())
+        p50, p95, _ = percentile_summary(served_lat)
         reports[name] = TenantReport(
             tenant=name,
             n_requests=int(mask.sum()),
@@ -397,8 +400,8 @@ def build_tenant_reports(
             n_shed_deadline=int((st == STATUS_SHED_DEADLINE).sum()),
             n_shed_queue=int((st == STATUS_SHED_QUEUE).sum()),
             n_dropped=int((st == STATUS_DROPPED).sum()),
-            latency_p50_s=float(np.percentile(served_lat, 50)) if n_served else 0.0,
-            latency_p95_s=float(np.percentile(served_lat, 95)) if n_served else 0.0,
+            latency_p50_s=p50,
+            latency_p95_s=p95,
             throughput_qps=n_served / makespan_s if makespan_s > 0 else 0.0,
             share=n_served / total_served if total_served else 0.0,
             deadline_ms=deadline_ms,
