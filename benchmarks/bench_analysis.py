@@ -1,0 +1,114 @@
+"""Static analysis cost: verification must stay effectively free.
+
+Two jobs:
+
+* pin the ``verify=True`` overhead — hazard-analyzing every update graph
+  and re-verifying every trace must cost **under 5% wall time** on a
+  figure-9-sized SU-ALS fit (4 GPUs, dual socket, data-parallel grid),
+  so verification can be left on in experiments without distorting them;
+* print the analyzer's own throughput (tasks/second of ``analyze_graph``
+  and ``verify_trace``) so a complexity regression in the rule passes
+  shows up as a number, not a feeling.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_graph, verify_trace
+from repro.core.als_su import ScaleUpALS
+from repro.core.config import ALSConfig
+from repro.core.schedule import execute_graph
+from repro.datasets.registry import DatasetSpec
+from repro.datasets.synthetic import generate_ratings
+from repro.experiments.common import format_table
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.topology import MachineTopology
+
+CONFIG = ALSConfig(f=32, lam=0.05, iterations=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Netflix's shape (480k x 18k, 100M ratings) scaled to benchmark size,
+    # keeping the figure-9 machine: 4 GPUs, dual socket, q x p grid.
+    spec = DatasetSpec("bench-analysis", 1200, 360, 36_000, 32, 0.05, kind="synthetic")
+    return generate_ratings(spec, seed=13, noise_sigma=0.25)
+
+
+def _figure9_su(verify: bool) -> ScaleUpALS:
+    machine = MultiGPUMachine(n_gpus=4, topology=MachineTopology.dual_socket(4))
+    return ScaleUpALS(
+        CONFIG,
+        machine=machine,
+        force_data_parallel=True,
+        q_override=4,
+        scheduler="eager",
+        verify=verify,
+    )
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    """Min wall time across ``rounds`` runs — robust against CI noise."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_verify_overhead_under_five_percent(benchmark, workload, report):
+    """verify=True may not cost more than 5% wall on a figure-9-sized fit."""
+
+    def measure():
+        plain = _best_of(lambda: _figure9_su(False).fit(workload.train))
+        verified = _best_of(lambda: _figure9_su(True).fit(workload.train))
+        return plain, verified
+
+    plain, verified = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = verified / plain - 1.0
+    assert overhead < 0.05, f"verify=True costs {overhead:.1%} wall (budget 5%)"
+
+    # And verification must not perturb the numbers it certifies.
+    res_p = _figure9_su(False).fit(workload.train)
+    res_v = _figure9_su(True).fit(workload.train)
+    assert np.array_equal(res_p.x, res_v.x)
+    assert np.array_equal(res_p.theta, res_v.theta)
+
+    report(
+        "verify=True overhead — SU-ALS, 4 GPUs, dual socket, q=4",
+        f"plain {plain * 1e3:.1f} ms, verified {verified * 1e3:.1f} ms, overhead {overhead:+.2%}",
+    )
+
+
+def test_analyzer_throughput(benchmark, workload, report):
+    """Tasks/second of the two analysis passes over one real update graph."""
+    solver = _figure9_su(False)
+    theta = np.zeros((workload.train.shape[1], CONFIG.f))
+    graph, _ = solver.build_update_graph(workload.train, theta, label="x")
+    trace = execute_graph(graph, solver.machine, "eager")
+
+    def sweep():
+        rows = []
+        for label, fn in (
+            ("analyze_graph", lambda: analyze_graph(graph, solver.machine)),
+            ("verify_trace", lambda: verify_trace(trace, graph, solver.machine)),
+        ):
+            seconds = _best_of(fn)
+            assert fn() == []  # a real builder graph must stay clean
+            rows.append(
+                {
+                    "pass": label,
+                    "tasks": len(graph),
+                    "ms": seconds * 1e3,
+                    "tasks_per_s": len(graph) / seconds,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("Analysis throughput — figure-9-sized update graph", format_table(rows))

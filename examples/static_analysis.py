@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Static analysis: catch a task-graph race before it runs, then prove the fix.
+
+A hand-built graph with a classic wiring bug — a kernel consumes a
+buffer whose producer was never recorded, so no dependency edge orders
+the read after the write.  Every scheduler this repo ships *happens* to
+mask the race; an overlap-aware scheduler someone writes next year might
+not.  This example:
+
+1. builds the broken pipeline and lets ``analyze_graph`` report the
+   hazards (a RAW race plus an out-of-range pin);
+2. applies the fixes the findings point at;
+3. re-analyzes (clean), executes under the overlap-aware ``eager``
+   scheduler with ``verify=True``, and re-verifies the trace standalone
+   with ``verify_trace``;
+4. shows ``reprolint`` catching the loop-variable-capture bug class
+   (rule REP002) in source code instead of dataflow.
+
+Run:  python examples/static_analysis.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import analyze_graph, verify_trace
+from repro.analysis.lint import lint_source
+from repro.core.schedule import execute_graph
+from repro.core.taskgraph import TaskGraph
+from repro.gpu.kernel import KernelProfile
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.memory import MemoryKind
+
+
+def profile(name: str) -> KernelProfile:
+    return KernelProfile(name=name, flops=5e8, traffic={MemoryKind.GLOBAL: 64e6}, blocks=128)
+
+
+def build_broken(machine: MultiGPUMachine) -> TaskGraph:
+    """An H2D → kernel → D2H pipeline with two planted bugs."""
+    g = TaskGraph()
+    h2d = g.new_task("h2d:ratings", "transfer", transfer=machine.h2d(0, 96e6))
+    # Bug 1: the staged buffer never learns its producer, so the kernel
+    # gets no dependency edge on the transfer — a RAW race.
+    staged = g.new_object(96e6, name="staged-ratings")
+    h2d.outputs.append(staged)
+    # Bug 2: the kernel is pinned to a device this machine does not have.
+    kernel = g.new_task("herm:block0", "kernel", profile=profile("get_hermitian"), pin=5, inputs=[staged])
+    result = g.new_object(32e6, name="hermitians", producer=kernel)
+    g.new_task("d2h:hermitians", "transfer", transfer=machine.d2h(0, 32e6), inputs=[result])
+    return g
+
+
+def main() -> None:
+    machine = MultiGPUMachine(n_gpus=2)
+
+    # 1. Analyze the broken graph: the races are found *before* execution.
+    broken = build_broken(machine)
+    hazards = analyze_graph(broken, machine)
+    print(f"broken graph: {len(broken)} tasks, {len(hazards)} finding(s)")
+    for hazard in hazards:
+        print(f"  {hazard}")
+    print()
+
+    # 2. Fix exactly what the findings point at: record the producer (the
+    #    dependency edge follows from it) and pin inside the machine.
+    fixed = build_broken(machine)
+    staged = next(obj for obj in fixed.objects if obj.name == "staged-ratings")
+    staged.producer = fixed.tasks[0]
+    staged.location = fixed.tasks[0].transfer.dst
+    fixed.tasks[1].pin = 0
+
+    # 3. Clean analysis, verified execution, standalone trace check.
+    remaining = analyze_graph(fixed, machine)
+    print(f"fixed graph: {len(remaining)} finding(s)")
+    trace = execute_graph(fixed, machine, "eager", verify=True)
+    print(f"eager schedule verified: {len(trace.events)} events, makespan {trace.makespan * 1e3:.3f} sim ms")
+    violations = verify_trace(trace, fixed, machine)
+    print(f"standalone verify_trace: {len(violations)} violation(s)\n")
+
+    # 4. The same bug class in *source* form: reprolint's REP002 is the
+    #    loop-variable capture that once shuffled solve closures (PR 7).
+    snippet = (
+        "def build(graph, batches):\n"
+        "    for start in batches:\n"
+        "        def run():\n"
+        "            solve(start)\n"
+        "        graph.new_task(f'solve:{start}', 'compute', run=run)\n"
+    )
+    print("reprolint on a buggy builder snippet:")
+    for finding in lint_source(snippet, "src/repro/core/builder.py"):
+        print(f"  line {finding.line}: {finding.rule} {finding.message}")
+
+
+if __name__ == "__main__":
+    main()

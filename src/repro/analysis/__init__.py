@@ -1,0 +1,36 @@
+"""Static analysis for the task-graph substrate and the project itself.
+
+Three passes, all side-effect free:
+
+* :mod:`repro.analysis.hazards` — dataflow hazard detection over a
+  :class:`~repro.core.taskgraph.TaskGraph` *before* it runs (WAW / RAW /
+  WAR races, orphan objects, infeasible pins, off-topology transfers);
+* :mod:`repro.analysis.verify` — replay an
+  :class:`~repro.core.schedule.ExecutionTrace` against its graph and
+  machine and prove the schedule respected dependencies, device
+  exclusivity and link capacity;
+* :mod:`repro.analysis.lint` — ``reprolint``, an AST lint encoding the
+  project's own invariants (rules REP001–REP006).
+
+``execute_graph(..., verify=True)`` runs the first two around every
+execution; they are also importable standalone for tests and tools.
+"""
+
+from repro.analysis.hazards import GRAPH_RULES, Hazard, HazardError, analyze_graph, check_graph
+from repro.analysis.lint import LINT_RULES, Finding, lint_paths, lint_source
+from repro.analysis.verify import TRACE_RULES, check_trace, verify_trace
+
+__all__ = [
+    "GRAPH_RULES",
+    "TRACE_RULES",
+    "LINT_RULES",
+    "Hazard",
+    "HazardError",
+    "Finding",
+    "analyze_graph",
+    "check_graph",
+    "verify_trace",
+    "check_trace",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,227 @@
+"""Static dataflow hazard analysis over a :class:`~repro.core.taskgraph.TaskGraph`.
+
+:meth:`TaskGraph.validate` proves a graph is a *well-formed DAG* — kinds
+are consistent, references stay inside the graph, there is no cycle.  It
+says nothing about whether the dataflow is *race-free*: two tasks may
+both write one :class:`~repro.core.taskgraph.DataObject`, a consumer may
+read an object with no dependency path ordering it after the write, a
+kernel may be pinned to a device the machine does not have.  Until now
+such schedules were only trusted because the three registered schedulers
+happened to produce bitwise-identical factors; :func:`analyze_graph` is
+the static proof.
+
+Seven rules, each reported as a structured :class:`Hazard`:
+
+========== ======== ==============================================================
+rule       severity finding
+========== ======== ==============================================================
+WAW        error    more than one task writes (produces) the same object
+RAW        error    a task consumes an object with no dependency path from its writer
+WAR        error    a secondary writer overwrites an object unordered with a reader
+LOCATION   error    a transfer's output object claims a location other than the dst
+ORPHAN     warning  an object nobody consumes (dead data, or a missing edge)
+PIN        error    a task is pinned to a device the machine does not have
+ENDPOINT   error    a transfer endpoint is not a node of the machine topology
+========== ======== ==============================================================
+
+``PIN`` and ``ENDPOINT`` need a machine and are skipped when none is
+given; everything else is machine-independent.  Ordering is judged on
+the graph's dependency reachability (inputs' producers plus explicit
+``after`` edges) — exactly the relation every scheduler is required to
+respect — so a hazard here is a race under *some* legal schedule even if
+the serial replay happens to mask it.
+
+:func:`check_graph` raises :class:`HazardError` (a ``ValueError``
+listing every error-severity finding at once) and is what
+``execute_graph(..., verify=True)`` runs before executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taskgraph import DataObject, Task, TaskGraph
+
+__all__ = ["GRAPH_RULES", "Hazard", "HazardError", "analyze_graph", "check_graph"]
+
+#: Rule id → one-line description (the README table is generated from this).
+GRAPH_RULES = {
+    "WAW": "write-after-write: more than one task produces the same DataObject",
+    "RAW": "read-after-write without an edge: a consumer has no dependency path from a writer",
+    "WAR": "write-after-read: a secondary writer is unordered with a reader of the object",
+    "LOCATION": "a transfer task's output object claims a location other than the transfer dst",
+    "ORPHAN": "an object no task consumes: dead data or a forgotten input edge",
+    "PIN": "a task is pinned to a device id the machine does not have",
+    "ENDPOINT": "a transfer endpoint is not a node of the machine topology",
+}
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One static-analysis finding: a rule, where it fired, and why."""
+
+    rule: str
+    task: Task | None
+    object: DataObject | None
+    message: str
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.message}"
+
+
+class HazardError(ValueError):
+    """A graph or trace failed verification; ``hazards`` holds every finding."""
+
+    def __init__(self, hazards: list[Hazard], context: str = "task graph"):
+        self.hazards = list(hazards)
+        listing = "\n".join(f"  - {h}" for h in self.hazards)
+        super().__init__(f"{context} failed verification with {len(self.hazards)} hazard(s):\n{listing}")
+
+
+# ---------------------------------------------------------------------- #
+# reachability
+# ---------------------------------------------------------------------- #
+def _ancestor_masks(graph: TaskGraph) -> dict[int, int]:
+    """Task id → bitmask of every task reachable *backwards* through deps."""
+    masks: dict[int, int] = {t.tid: 0 for t in graph.tasks}
+    for task in graph.topological_order():
+        mask = 0
+        for dep in task.dependencies():
+            mask |= masks.get(dep.tid, 0) | (1 << dep.tid)
+        masks[task.tid] = mask
+    return masks
+
+
+def _ordered(a: Task, b: Task, masks: dict[int, int]) -> bool:
+    """True when a dependency path runs ``a ⇝ b`` or ``b ⇝ a``."""
+    return bool(masks.get(b.tid, 0) & (1 << a.tid)) or bool(masks.get(a.tid, 0) & (1 << b.tid))
+
+
+# ---------------------------------------------------------------------- #
+# the analyzer
+# ---------------------------------------------------------------------- #
+def analyze_graph(graph: TaskGraph, machine=None) -> list[Hazard]:
+    """Run every hazard rule over ``graph``; returns all findings.
+
+    ``machine`` (a :class:`~repro.gpu.machine.MultiGPUMachine`) enables
+    the machine-dependent rules ``PIN`` and ``ENDPOINT``.  The graph is
+    expected to pass :meth:`~repro.core.taskgraph.TaskGraph.validate`;
+    the analyzer looks for *races*, not malformedness.
+    """
+    hazards: list[Hazard] = []
+    masks = _ancestor_masks(graph)
+
+    writers: dict[int, list[Task]] = {obj.oid: [] for obj in graph.objects}
+    readers: dict[int, list[Task]] = {obj.oid: [] for obj in graph.objects}
+    for task in graph.tasks:
+        for obj in task.outputs:
+            if not any(w is task for w in writers.setdefault(obj.oid, [])):
+                writers[obj.oid].append(task)
+        for obj in task.inputs:
+            if not any(r is task for r in readers.setdefault(obj.oid, [])):
+                readers[obj.oid].append(task)
+
+    for obj in graph.objects:
+        ws = list(writers.get(obj.oid, ()))
+        if obj.producer is not None and not any(w is obj.producer for w in ws):
+            ws.insert(0, obj.producer)
+        rs = readers.get(obj.oid, ())
+
+        if len(ws) > 1:
+            names = ", ".join(repr(w.name) for w in ws)
+            hazards.append(
+                Hazard(
+                    "WAW",
+                    ws[1],
+                    obj,
+                    f"object {obj.name or obj.oid!r} is written by {len(ws)} tasks ({names}); every object needs exactly one producer",
+                )
+            )
+
+        for reader in rs:
+            for writer in ws:
+                if reader is writer or _ordered(writer, reader, masks):
+                    continue
+                if writer is obj.producer or obj.producer is None:
+                    hazards.append(
+                        Hazard(
+                            "RAW",
+                            reader,
+                            obj,
+                            f"task {reader.name!r} consumes {obj.name or obj.oid!r} with no dependency path from writer {writer.name!r}",
+                        )
+                    )
+                else:
+                    hazards.append(
+                        Hazard(
+                            "WAR",
+                            writer,
+                            obj,
+                            f"task {writer.name!r} overwrites {obj.name or obj.oid!r} unordered with reader {reader.name!r}",
+                        )
+                    )
+
+        if not rs:
+            produced = "produced but never consumed" if ws else "never produced and never consumed"
+            hazards.append(
+                Hazard(
+                    "ORPHAN",
+                    ws[0] if ws else None,
+                    obj,
+                    f"object {obj.name or obj.oid!r} is {produced}: dead data or a missing input edge",
+                    severity="warning",
+                )
+            )
+
+    for task in graph.tasks:
+        if task.kind == "transfer" and task.transfer is not None:
+            for obj in task.outputs:
+                if obj.location != task.transfer.dst:
+                    hazards.append(
+                        Hazard(
+                            "LOCATION",
+                            task,
+                            obj,
+                            f"transfer {task.name!r} lands on {task.transfer.dst!r} but its output "
+                            f"{obj.name or obj.oid!r} claims location {obj.location!r}",
+                        )
+                    )
+
+    if machine is not None:
+        nodes = set(machine.topology.nodes)
+        for task in graph.tasks:
+            if task.pin is not None and not 0 <= task.pin < machine.n_gpus:
+                hazards.append(
+                    Hazard(
+                        "PIN",
+                        task,
+                        None,
+                        f"task {task.name!r} is pinned to device {task.pin} but the machine has {machine.n_gpus} GPU(s)",
+                    )
+                )
+            if task.kind == "transfer" and task.transfer is not None:
+                for endpoint in (task.transfer.src, task.transfer.dst):
+                    if endpoint not in nodes:
+                        hazards.append(
+                            Hazard(
+                                "ENDPOINT",
+                                task,
+                                None,
+                                f"transfer {task.name!r} endpoint {endpoint!r} is not a node of the machine topology",
+                            )
+                        )
+    return hazards
+
+
+def check_graph(graph: TaskGraph, machine=None) -> list[Hazard]:
+    """Raise :class:`HazardError` on any error-severity hazard.
+
+    Returns the full finding list (warnings included) when the graph is
+    hazard-free, so callers can still surface ``ORPHAN`` advisories.
+    """
+    hazards = analyze_graph(graph, machine)
+    errors = [h for h in hazards if h.severity == "error"]
+    if errors:
+        raise HazardError(errors, context="task graph")
+    return hazards

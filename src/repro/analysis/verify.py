@@ -1,0 +1,166 @@
+"""Schedule trace verification: replay an ``ExecutionTrace`` against its graph.
+
+:func:`~repro.analysis.hazards.analyze_graph` proves the *graph* is
+race-free; this module proves a particular *execution* respected it.
+Given the :class:`~repro.core.schedule.ExecutionTrace` a scheduler
+produced, the graph it executed, and the machine it ran on,
+:func:`verify_trace` re-derives the constraints every legal schedule
+must satisfy and reports each violation as a
+:class:`~repro.analysis.hazards.Hazard`:
+
+============== ==============================================================
+rule           finding
+============== ==============================================================
+DEP-ORDER      an event starts before one of its dependencies' events ends
+DEVICE-OVERLAP one device runs two kernels at the same time
+LINK-OVERLAP   one directed link carries two overlapping transfers (events mode)
+============== ==============================================================
+
+``LINK-OVERLAP`` mirrors the events executor's contention model: a
+transfer occupies every directed link of its topology path for its
+bandwidth time, while the per-hop propagation latency pipelines (two
+back-to-back transfers may overlap by the latency tail, never by
+bandwidth time).  Wave-replay traces batch each wave through
+``TransferEngine.batch_time``, which *fair-shares* links, so the rule
+only applies to events-mode traces — the mode is resolved from the
+trace's scheduler name (or passed explicitly via ``mode=``).
+
+Tasks without a trace event (zero-byte transfers and same-node moves are
+not recorded by the events executor) are transparent: they finish when
+their last dependency does.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hazards import Hazard, HazardError
+from repro.core.schedule import LINK_LATENCY_S, ExecutionTrace, get_scheduler_spec
+from repro.core.taskgraph import TaskGraph
+
+__all__ = ["TRACE_RULES", "check_trace", "verify_trace"]
+
+#: Rule id → one-line description (the README table is generated from this).
+TRACE_RULES = {
+    "DEP-ORDER": "an event starts before every dependency's event has ended",
+    "DEVICE-OVERLAP": "one device runs two kernel events concurrently",
+    "LINK-OVERLAP": "one directed link carries two overlapping transfers (events mode)",
+}
+
+_EPS = 1e-9
+
+
+def _resolve_mode(trace: ExecutionTrace, mode: str | None) -> str | None:
+    """Explicit ``mode`` wins; otherwise ask the registry about the scheduler."""
+    if mode is not None:
+        return mode
+    try:
+        return get_scheduler_spec(trace.scheduler).factory().mode
+    except (ValueError, TypeError):
+        return None
+
+
+def verify_trace(trace: ExecutionTrace, graph: TaskGraph, machine=None, *, mode: str | None = None) -> list[Hazard]:
+    """Check ``trace`` against ``graph`` (and ``machine``); returns violations.
+
+    ``machine`` enables the link-contention rule (its topology maps each
+    transfer onto directed links); ``mode`` forces ``"waves"`` /
+    ``"events"`` semantics when the trace's scheduler name is not in the
+    registry (a merged trace, say).
+    """
+    hazards: list[Hazard] = []
+    resolved_mode = _resolve_mode(trace, mode)
+    order = graph.topological_order()
+
+    # -- map graph tasks to their events (insertion order per name) ----- #
+    events_by_name: dict[str, list] = {}
+    for event in trace.events:
+        events_by_name.setdefault(event.name, []).append(event)
+    task_event = {}
+    for task in order:
+        queue = events_by_name.get(task.name)
+        task_event[task.tid] = queue.pop(0) if queue else None
+
+    # -- DEP-ORDER: no event starts before its dependencies end --------- #
+    finish: dict[int, float] = {}
+    for task in order:
+        event = task_event[task.tid]
+        dep_end = max((finish[dep.tid] for dep in task.dependencies()), default=float("-inf"))
+        if event is None:
+            finish[task.tid] = dep_end
+            continue
+        finish[task.tid] = event.end
+        for dep in task.dependencies():
+            if finish[dep.tid] > event.start + _EPS:
+                hazards.append(
+                    Hazard(
+                        "DEP-ORDER",
+                        task,
+                        None,
+                        f"event {task.name!r} starts at {event.start:.6g}s but dependency "
+                        f"{dep.name!r} only finishes at {finish[dep.tid]:.6g}s",
+                    )
+                )
+
+    # -- DEVICE-OVERLAP: one kernel at a time per device ----------------- #
+    by_device: dict[str, list] = {}
+    for event in trace.events:
+        if event.kind == "kernel":
+            by_device.setdefault(event.worker, []).append(event)
+    for device, events in sorted(by_device.items()):
+        events.sort(key=lambda e: (e.start, e.end))
+        busy_until, busy_name = float("-inf"), ""
+        for cur in events:
+            if cur.start < busy_until - _EPS:
+                hazards.append(
+                    Hazard(
+                        "DEVICE-OVERLAP",
+                        None,
+                        None,
+                        f"device {device} runs {busy_name!r} until {busy_until:.6g}s "
+                        f"but {cur.name!r} starts at {cur.start:.6g}s",
+                    )
+                )
+            if cur.end > busy_until:
+                busy_until, busy_name = cur.end, cur.name
+
+    # -- LINK-OVERLAP: directed links serialize bandwidth time ----------- #
+    if resolved_mode == "events" and machine is not None:
+        topology = machine.topology
+        occupancy: dict[tuple[str, str], list] = {}
+        for event in trace.events:
+            if event.kind != "transfer" or "->" not in event.worker:
+                continue
+            src, dst = event.worker.split("->", 1)
+            try:
+                path = topology.path(src, dst)
+            except (KeyError, ValueError):
+                continue  # foreign endpoints are an ENDPOINT graph hazard
+            busy_end = max(event.start, event.end - len(path) * LINK_LATENCY_S)
+            cursor = src
+            for link in path:
+                nxt = link.b if cursor == link.a else link.a
+                occupancy.setdefault((cursor, nxt), []).append((event.start, busy_end, event.name))
+                cursor = nxt
+        for key, spans in sorted(occupancy.items()):
+            spans.sort()
+            busy_until, busy_name = float("-inf"), ""
+            for start, end, name in spans:
+                if start < busy_until - _EPS:
+                    hazards.append(
+                        Hazard(
+                            "LINK-OVERLAP",
+                            None,
+                            None,
+                            f"link {key[0]}->{key[1]} carries {busy_name!r} until {busy_until:.6g}s "
+                            f"but {name!r} starts at {start:.6g}s",
+                        )
+                    )
+                if end > busy_until:
+                    busy_until, busy_name = end, name
+    return hazards
+
+
+def check_trace(trace: ExecutionTrace, graph: TaskGraph, machine=None, *, mode: str | None = None) -> None:
+    """Raise :class:`~repro.analysis.hazards.HazardError` on any violation."""
+    hazards = verify_trace(trace, graph, machine, mode=mode)
+    if hazards:
+        raise HazardError(hazards, context=f"{trace.scheduler!r} schedule trace")

@@ -56,6 +56,7 @@ class MemoryOptimizedALS:
         machine: MultiGPUMachine | None = None,
         spec: DeviceSpec = TITAN_X,
         scheduler=None,
+        verify: bool = False,
     ):
         self.config = config
         self.machine = machine or MultiGPUMachine(n_gpus=1, spec=spec)
@@ -63,6 +64,9 @@ class MemoryOptimizedALS:
             raise ValueError("MO-ALS is the single-GPU solver; use ScaleUpALS for multi-GPU machines")
         self.device = self.machine.device(0)
         self.scheduler = make_scheduler(scheduler if scheduler is not None else "serial")
+        # verify=True race-checks every update graph and its trace through
+        # repro.analysis (hazard analyzer + schedule verifier).
+        self.verify = verify
         self.traces: list[ExecutionTrace] = []
 
     # ------------------------------------------------------------------ #
@@ -151,7 +155,7 @@ class MemoryOptimizedALS:
     def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
         """One update pass (update-X when ``fixed`` is Θ, update-Θ when it is X)."""
         graph, out = self.build_update_graph(r, fixed, label)
-        self.traces.append(execute_graph(graph, self.machine, self.scheduler))
+        self.traces.append(execute_graph(graph, self.machine, self.scheduler, verify=self.verify))
         return out
 
     # ------------------------------------------------------------------ #

@@ -72,6 +72,7 @@ class ScaleUpALS:
         q_override: int | None = None,
         force_data_parallel: bool = False,
         scheduler=None,
+        verify: bool = False,
     ):
         self.config = config
         self.machine = machine or MultiGPUMachine(n_gpus=n_gpus, spec=spec)
@@ -82,6 +83,9 @@ class ScaleUpALS:
         # ablation, which need the data-parallel machinery on small data).
         self.force_data_parallel = force_data_parallel
         self.scheduler = make_scheduler(scheduler if scheduler is not None else "serial")
+        # verify=True race-checks every update graph and its trace through
+        # repro.analysis (hazard analyzer + schedule verifier).
+        self.verify = verify
         self.traces: list[ExecutionTrace] = []
 
     @property
@@ -380,7 +384,7 @@ class ScaleUpALS:
     def _update_pass(self, r: CSRMatrix, fixed: np.ndarray, label: str) -> np.ndarray:
         """One SU-ALS update pass: build the graph, execute it, keep the trace."""
         graph, out = self.build_update_graph(r, fixed, label)
-        self.traces.append(execute_graph(graph, self.machine, self.scheduler))
+        self.traces.append(execute_graph(graph, self.machine, self.scheduler, verify=self.verify))
         return out
 
     # ------------------------------------------------------------------ #

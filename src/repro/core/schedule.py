@@ -35,7 +35,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import repro.obs as obs
 from repro.core.taskgraph import Task, TaskGraph
-from repro.core.validation import unknown_name_error
+from repro.core.validation import duplicate_name_error, prebuilt_override_error, spec_needs_name_error, unknown_name_error
 from repro.gpu.kernel import estimate_kernel_time
 from repro.gpu.machine import MultiGPUMachine
 
@@ -118,7 +118,7 @@ def register_scheduler(
     spec = SchedulerSpec(name=name, factory=factory, description=description, aliases=tuple(aliases))
     for label in (name, *spec.aliases):
         if label in _REGISTRY or label in _ALIASES:
-            raise ValueError(f"scheduler name already registered: {label!r}")
+            raise duplicate_name_error("scheduler", label)
     _REGISTRY[name] = spec
     for alias in spec.aliases:
         _ALIASES[alias] = name
@@ -156,14 +156,14 @@ def make_scheduler(spec, /, **kwargs) -> "Scheduler":
         try:
             name = merged.pop("name")
         except KeyError:
-            raise ValueError("a scheduler spec dict needs a 'name' key") from None
+            raise spec_needs_name_error("scheduler") from None
         merged.update(kwargs)
         return get_scheduler_spec(name).factory(**merged)
     if isinstance(spec, SchedulerSpec):
         return spec.factory(**kwargs)
     if hasattr(spec, "mode") and hasattr(spec, "priorities"):
         if kwargs:
-            raise ValueError("cannot apply overrides to an already-built scheduler")
+            raise prebuilt_override_error("scheduler")
         return spec
     raise TypeError(f"cannot build a scheduler from {type(spec).__name__}")
 
@@ -345,14 +345,28 @@ class ExecutionTrace:
 # ---------------------------------------------------------------------- #
 # the executor
 # ---------------------------------------------------------------------- #
-def execute_graph(graph: TaskGraph, machine: MultiGPUMachine, scheduler="serial") -> ExecutionTrace:
+def execute_graph(graph: TaskGraph, machine: MultiGPUMachine, scheduler="serial", *, verify: bool = False) -> ExecutionTrace:
     """Run ``graph`` on ``machine`` under ``scheduler``; returns the trace.
 
     Numeric closures always run first, in insertion-stable topological
     order — the schedule decides only where simulated *time* goes.
+
+    ``verify=True`` race-checks the execution: the graph goes through
+    :func:`repro.analysis.hazards.check_graph` before anything runs
+    (WAW / RAW / WAR / pin / endpoint hazards raise
+    :class:`~repro.analysis.hazards.HazardError`) and the resulting
+    trace through :func:`repro.analysis.verify.check_trace` afterwards
+    (dependency order, device exclusivity, link contention).
+    Verification never touches the numerics — factors are byte-identical
+    either way — so any scheduler, current or future, can be checked on
+    every graph it executes.
     """
     sched = make_scheduler(scheduler)
     graph.validate()
+    if verify:
+        from repro.analysis.hazards import check_graph
+
+        check_graph(graph, machine)
     for task in graph.topological_order():
         if task.run is not None:
             task.run()
@@ -363,6 +377,10 @@ def execute_graph(graph: TaskGraph, machine: MultiGPUMachine, scheduler="serial"
     else:
         trace = _simulate_events(graph, machine, sched)
         offset = base  # event simulation times each graph from zero
+    if verify:
+        from repro.analysis.verify import check_trace
+
+        check_trace(trace, graph, machine, mode=sched.mode)
     if obs.enabled():
         obs.get_tracer().adopt_execution(trace, process="train", offset=offset)
         registry = obs.get_registry()

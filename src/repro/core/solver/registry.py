@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.validation import unknown_name_error
+from repro.core.validation import duplicate_name_error, prebuilt_override_error, spec_needs_name_error, unknown_name_error
 from repro.gpu.specs import TITAN_X
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
@@ -80,7 +80,7 @@ def register_solver(
     spec = SolverSpec(name=name, factory=factory, description=description, kind=kind, aliases=tuple(aliases))
     for label in (name, *spec.aliases):
         if label in _REGISTRY or label in _ALIASES:
-            raise ValueError(f"solver name already registered: {label!r}")
+            raise duplicate_name_error("solver", label)
     _REGISTRY[name] = spec
     for alias in spec.aliases:
         _ALIASES[alias] = name
@@ -124,14 +124,14 @@ def make_solver(spec, /, **kwargs) -> "Solver":
         try:
             name = merged.pop("name")
         except KeyError:
-            raise ValueError("a solver spec dict needs a 'name' key") from None
+            raise spec_needs_name_error("solver") from None
         merged.update(kwargs)
         return get_solver_spec(name).factory(**merged)
     if isinstance(spec, SolverSpec):
         return spec.factory(**kwargs)
     if hasattr(spec, "fit") and hasattr(spec, "iterate"):
         if kwargs:
-            raise ValueError("cannot apply overrides to an already-built solver")
+            raise prebuilt_override_error("solver")
         return spec
     raise TypeError(f"cannot build a solver from {type(spec).__name__}")
 

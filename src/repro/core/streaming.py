@@ -61,6 +61,7 @@ class StreamingALS:
         reduction: ReductionScheme | None = None,
         scheduler=None,
         n_chunks: int = 4,
+        verify: bool = False,
     ):
         if n_chunks < 1:
             raise ValueError("n_chunks must be >= 1")
@@ -74,8 +75,10 @@ class StreamingALS:
             machine=self.machine,
             reduction=reduction,
             scheduler=scheduler,
+            verify=verify,
         )
         self.scheduler = self._inner.scheduler
+        self.verify = verify
 
     @property
     def traces(self):

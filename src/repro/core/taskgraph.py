@@ -184,25 +184,40 @@ class TaskGraph:
     # validation and orderings
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
-        """Check the graph is a well-formed DAG with kind-consistent tasks."""
+        """Check the graph is a well-formed DAG with kind-consistent tasks.
+
+        Every violation is collected and raised as *one* ``ValueError``
+        (one line per offending task/object), so a multi-error graph is
+        debuggable in a single pass instead of error-by-error.
+        """
+        problems: list[str] = []
         ids = {id(t) for t in self.tasks}
+        foreign_refs = False
         for task in self.tasks:
             if task.kind not in TASK_KINDS:
-                raise ValueError(f"task {task.name!r} has unknown kind {task.kind!r}")
+                problems.append(f"task {task.name!r} has unknown kind {task.kind!r}")
             if task.kind == "kernel" and task.profile is None:
-                raise ValueError(f"kernel task {task.name!r} needs a KernelProfile")
+                problems.append(f"kernel task {task.name!r} needs a KernelProfile")
             if task.kind == "transfer" and task.transfer is None:
-                raise ValueError(f"transfer task {task.name!r} needs a Transfer")
+                problems.append(f"transfer task {task.name!r} needs a Transfer")
             if task.seconds < 0:
-                raise ValueError(f"task {task.name!r} has negative duration")
+                problems.append(f"task {task.name!r} has negative duration")
             for dep in task.dependencies():
                 if id(dep) not in ids:
-                    raise ValueError(f"task {task.name!r} depends on a task outside this graph")
+                    foreign_refs = True
+                    problems.append(f"task {task.name!r} depends on a task outside this graph")
             for obj in (*task.inputs, *task.outputs):
-                if obj is not self.objects[obj.oid]:
-                    raise ValueError(f"task {task.name!r} references an object outside this graph")
-        if len(self.topological_order()) != len(self.tasks):
-            raise ValueError("task graph contains a cycle")
+                if not 0 <= obj.oid < len(self.objects) or obj is not self.objects[obj.oid]:
+                    problems.append(f"task {task.name!r} references an object outside this graph")
+        # Foreign dependencies would confuse the indegree bookkeeping, so
+        # only look for cycles once every reference resolves in-graph.
+        if not foreign_refs and len(self.topological_order()) != len(self.tasks):
+            problems.append("task graph contains a cycle")
+        if len(problems) == 1:
+            raise ValueError(problems[0])
+        if problems:
+            listing = "\n".join(f"  - {p}" for p in problems)
+            raise ValueError(f"task graph validation failed with {len(problems)} problems:\n{listing}")
 
     def topological_order(self) -> list[Task]:
         """Kahn's algorithm, insertion-stable: ready tasks run in append order.

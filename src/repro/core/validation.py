@@ -14,7 +14,15 @@ from __future__ import annotations
 
 from typing import Iterable
 
-__all__ = ["unknown_name_error", "validate_hyperparameters"]
+__all__ = [
+    "duplicate_name_error",
+    "factory_arguments_error",
+    "prebuilt_override_error",
+    "require",
+    "spec_needs_name_error",
+    "unknown_name_error",
+    "validate_hyperparameters",
+]
 
 #: Canonical message per violation; keyed by field for the docs/tests.
 MESSAGES = {
@@ -49,6 +57,40 @@ def unknown_name_error(kind: str, name: object, known: Iterable[str]) -> ValueEr
         unknown scheduler 'hefty'; choose from ['eager', 'eager-greedy', ...]
     """
     return ValueError(f"unknown {kind} {name!r}; choose from {sorted(known)}")
+
+
+def require(condition: object, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` is truthy.
+
+    The one-line gate config and registry modules use for their ad-hoc
+    invariants (``replicas must be at least 1``, ``max_rows must be
+    positive``, ...).  Routing every such check through this helper keeps
+    the project invariant — config/registry ``ValueError``s come from
+    :mod:`repro.core.validation` — mechanically checkable; ``reprolint``
+    rule REP003 enforces it.
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def duplicate_name_error(kind: str, label: object) -> ValueError:
+    """The one duplicate-registration error, identical for every registry."""
+    return ValueError(f"{kind} name already registered: {label!r}")
+
+
+def spec_needs_name_error(kind: str) -> ValueError:
+    """The one missing-'name'-key error for declarative spec dicts."""
+    return ValueError(f"a {kind} spec dict needs a 'name' key")
+
+
+def prebuilt_override_error(kind: str) -> ValueError:
+    """The one overrides-refused error for already-built instances."""
+    return ValueError(f"cannot apply overrides to an already-built {kind}")
+
+
+def factory_arguments_error(kind: str, name: str, exc: Exception) -> ValueError:
+    """The one bad-factory-keywords error, wrapping the factory's TypeError."""
+    return ValueError(f"invalid arguments for {kind} {name!r}: {exc}")
 
 
 def validate_hyperparameters(

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from repro.core.validation import require
+
 __all__ = [
     "DatasetSpec",
     "NETFLIX",
@@ -94,8 +96,7 @@ class DatasetSpec:
         ratings-per-row is preserved (so density *increases*, which keeps
         per-row work — the quantity the kernels care about — representative).
         """
-        if max_rows <= 0:
-            raise ValueError("max_rows must be positive")
+        require(max_rows > 0, "max_rows must be positive")
         scale = min(1.0, max_rows / float(self.m))
         new_m = max(32, int(round(self.m * scale)))
         new_n = max(min_cols, int(round(self.n * scale)))

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.checkpoint import CheckpointManager
+from repro.core.validation import require
 
 __all__ = ["Snapshot", "SnapshotRegistry"]
 
@@ -57,8 +58,7 @@ class SnapshotRegistry:
     """
 
     def __init__(self, directory: str | os.PathLike, keep: int | None = None):
-        if keep is not None and keep < 1:
-            raise ValueError("must keep at least one version")
+        require(keep is None or keep >= 1, "must keep at least one version")
         self.manager = CheckpointManager(directory, keep=1)
         self.keep = keep
 
@@ -149,10 +149,8 @@ class SnapshotRegistry:
         :meth:`RecommenderService.rollback`, which does both).
         """
         published = self.versions()
-        if version not in published:
-            raise ValueError(f"no version {version} in {self.directory!r}; published: {published}")
-        if version == published[-1]:
-            raise ValueError(f"version {version} is already the latest; nothing to roll back")
+        require(version in published, f"no version {version} in {self.directory!r}; published: {published}")
+        require(version != published[-1], f"version {version} is already the latest; nothing to roll back")
         snap = self.load(version)
         return self.publish(
             snap.x,
@@ -179,11 +177,9 @@ class SnapshotRegistry:
         """Restore one version (default: the latest)."""
         if version is None:
             version = self.latest_version()
-            if version is None:
-                raise ValueError(f"no versions published in {self.directory!r}")
+            require(version is not None, f"no versions published in {self.directory!r}")
         restored = self.manager.load(version)
-        if _MARKER not in restored.extras:
-            raise ValueError(f"iteration {version} in {self.directory!r} is not a registry version")
+        require(_MARKER in restored.extras, f"iteration {version} in {self.directory!r} is not a registry version")
         return Snapshot(
             version=int(restored.extras[_MARKER]),
             x=restored.x,

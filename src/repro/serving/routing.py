@@ -29,7 +29,14 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core.validation import unknown_name_error
+from repro.core.validation import (
+    duplicate_name_error,
+    factory_arguments_error,
+    prebuilt_override_error,
+    require,
+    spec_needs_name_error,
+    unknown_name_error,
+)
 
 __all__ = [
     "Router",
@@ -155,7 +162,7 @@ def register_router(
     spec = RouterSpec(name=name, factory=factory, description=description, aliases=tuple(aliases))
     for label in (name, *spec.aliases):
         if label in _REGISTRY or label in _ALIASES:
-            raise ValueError(f"router name already registered: {label!r}")
+            raise duplicate_name_error("router", label)
     _REGISTRY[name] = spec
     for alias in spec.aliases:
         _ALIASES[alias] = name
@@ -189,7 +196,7 @@ def _build(spec: RouterSpec, kwargs: dict) -> Router:
     try:
         return spec.factory(**kwargs)
     except TypeError as exc:
-        raise ValueError(f"invalid arguments for router {spec.name!r}: {exc}") from None
+        raise factory_arguments_error("router", spec.name, exc) from None
 
 
 def make_router(spec, /, **kwargs) -> Router:
@@ -207,14 +214,14 @@ def make_router(spec, /, **kwargs) -> Router:
         try:
             name = merged.pop("name")
         except KeyError:
-            raise ValueError("a router spec dict needs a 'name' key") from None
+            raise spec_needs_name_error("router") from None
         merged.update(kwargs)
         return _build(get_router_spec(name), merged)
     if isinstance(spec, RouterSpec):
         return _build(spec, kwargs)
-    if isinstance(spec, Router):
+    if isinstance(spec, Router):  # reprolint: ignore[REP006] — structural duck-check, not an implementation fork
         if kwargs:
-            raise ValueError("cannot apply overrides to an already-built router")
+            raise prebuilt_override_error("router")
         return spec
     raise TypeError(f"cannot build a router from {type(spec).__name__}")
 
@@ -222,8 +229,7 @@ def make_router(spec, /, **kwargs) -> Router:
 def select_replica(router: Router, loads: Sequence[float]) -> int:
     """One routing decision, with the returned index validated in range."""
     choice = router.select(loads)
-    if not 0 <= choice < len(loads):
-        raise ValueError(f"router returned replica {choice} for {len(loads)} replicas")
+    require(0 <= choice < len(loads), f"router returned replica {choice} for {len(loads)} replicas")
     return choice
 
 

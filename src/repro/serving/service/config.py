@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.validation import require
 from repro.serving.cluster import Router, make_router
 from repro.serving.lifecycle.log import InteractionLog
 from repro.serving.tenancy import TenantPolicy, TenantPolicyTable
@@ -90,17 +91,13 @@ class ServingConfig:
     tenants: "TenantPolicyTable | TenantPolicy | tuple | list | None" = None
 
     def __post_init__(self) -> None:
-        if self.replicas < 1:
-            raise ValueError("replicas must be at least 1")
-        if self.n_shards is not None and self.n_shards < 1:
-            raise ValueError("n_shards must be at least 1")
-        if self.registry_keep is not None and self.registry_keep < 1:
-            raise ValueError("registry_keep must be at least 1")
-        if self.registry_keep is not None and self.registry_dir is None:
-            raise ValueError("registry_keep needs a registry_dir")
+        require(self.replicas >= 1, "replicas must be at least 1")
+        require(self.n_shards is None or self.n_shards >= 1, "n_shards must be at least 1")
+        require(self.registry_keep is None or self.registry_keep >= 1, "registry_keep must be at least 1")
+        require(self.registry_keep is None or self.registry_dir is not None, "registry_keep needs a registry_dir")
         # Fail on an unknown policy name at *config* time, not at serve
         # time; a Router instance passes through untouched.
-        if not isinstance(self.router, Router):
+        if not isinstance(self.router, Router):  # reprolint: ignore[REP006] — structural duck-check, not an implementation fork
             make_router(self.router)
         # Same principle for tenant policies: a malformed table fails here.
         TenantPolicyTable.coerce(self.tenants)

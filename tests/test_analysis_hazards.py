@@ -1,0 +1,194 @@
+"""Static hazard analysis: every rule triggers, every builder is clean."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import GRAPH_RULES, Hazard, HazardError, analyze_graph, check_graph
+from repro.core.als_mo import MemoryOptimizedALS
+from repro.core.als_su import ScaleUpALS
+from repro.core.config import ALSConfig
+from repro.core.schedule import execute_graph
+from repro.core.taskgraph import TaskGraph
+from repro.gpu.kernel import KernelProfile
+from repro.gpu.machine import MultiGPUMachine
+from repro.gpu.memory import MemoryKind
+from repro.gpu.transfer import Transfer
+
+
+def profile(name: str = "k", mb: float = 16.0) -> KernelProfile:
+    return KernelProfile(name=name, flops=1e8, traffic={MemoryKind.GLOBAL: mb * 1e6}, blocks=64)
+
+
+def rules_of(hazards: list[Hazard]) -> set[str]:
+    return {h.rule for h in hazards}
+
+
+class TestGraphRuleTriggers:
+    def test_waw_two_writers_of_one_object(self):
+        g = TaskGraph()
+        a = g.new_task("a", "compute")
+        obj = g.new_object(8.0, name="shared", producer=a)
+        b = g.new_task("b", "compute")
+        b.outputs.append(obj)
+        hazards = analyze_graph(g)
+        assert "WAW" in rules_of(hazards)
+        waw = next(h for h in hazards if h.rule == "WAW")
+        assert waw.object is obj
+        assert "'shared'" in waw.message
+
+    def test_raw_consumer_without_edge_from_writer(self):
+        g = TaskGraph()
+        writer = g.new_task("writer", "compute")
+        # The object never learns its producer, so the consumer gets no
+        # dependency edge — the classic forgotten-wiring race.
+        obj = g.new_object(8.0, name="payload")
+        writer.outputs.append(obj)
+        g.new_task("reader", "compute", inputs=[obj])
+        hazards = analyze_graph(g)
+        assert "RAW" in rules_of(hazards)
+        raw = next(h for h in hazards if h.rule == "RAW")
+        assert raw.task.name == "reader"
+
+    def test_war_secondary_writer_unordered_with_reader(self):
+        g = TaskGraph()
+        a = g.new_task("producer", "compute")
+        obj = g.new_object(8.0, name="x-block", producer=a)
+        g.new_task("reader", "compute", inputs=[obj])
+        clobber = g.new_task("clobber", "compute", after=[a])
+        clobber.outputs.append(obj)
+        hazards = analyze_graph(g)
+        assert "WAR" in rules_of(hazards)
+        war = next(h for h in hazards if h.rule == "WAR")
+        assert war.task.name == "clobber"
+
+    def test_location_transfer_output_contradicts_dst(self):
+        machine = MultiGPUMachine(n_gpus=2)
+        g = TaskGraph()
+        t = g.new_task("h2d", "transfer", transfer=machine.h2d(1, 64.0))
+        moved = g.new_object(64.0, producer=t)
+        g.new_task("k", "kernel", profile=profile(), pin=1, inputs=[moved])
+        moved.location = "gpu:0"
+        hazards = analyze_graph(g, machine)
+        assert "LOCATION" in rules_of(hazards)
+
+    def test_orphan_unconsumed_object_is_a_warning(self):
+        g = TaskGraph()
+        a = g.new_task("a", "compute")
+        g.new_object(8.0, name="dead", producer=a)
+        hazards = analyze_graph(g)
+        orphan = next(h for h in hazards if h.rule == "ORPHAN")
+        assert orphan.severity == "warning"
+        assert "never consumed" in orphan.message
+        # Warnings do not fail check_graph; they are returned for surfacing.
+        assert any(h.rule == "ORPHAN" for h in check_graph(g))
+
+    def test_orphan_never_produced_source_object(self):
+        g = TaskGraph()
+        g.new_task("a", "compute")
+        g.new_object(8.0, name="untouched")
+        orphan = next(h for h in analyze_graph(g) if h.rule == "ORPHAN")
+        assert "never produced" in orphan.message
+
+    def test_pin_outside_machine(self):
+        machine = MultiGPUMachine(n_gpus=1)
+        g = TaskGraph()
+        g.new_task("k", "kernel", profile=profile(), pin=3)
+        hazards = analyze_graph(g, machine)
+        assert "PIN" in rules_of(hazards)
+        # Without a machine the rule cannot be judged and is skipped.
+        assert "PIN" not in rules_of(analyze_graph(g))
+
+    def test_endpoint_not_in_topology(self):
+        machine = MultiGPUMachine(n_gpus=1)
+        g = TaskGraph()
+        g.new_task("t", "transfer", transfer=Transfer("gpu:9", "host:0", 64.0))
+        hazards = analyze_graph(g, machine)
+        assert "ENDPOINT" in rules_of(hazards)
+        assert "ENDPOINT" not in rules_of(analyze_graph(g))
+
+    def test_every_documented_rule_has_a_description(self):
+        assert set(GRAPH_RULES) == {"WAW", "RAW", "WAR", "LOCATION", "ORPHAN", "PIN", "ENDPOINT"}
+
+
+class TestCleanGraphs:
+    def test_pipeline_graph_is_hazard_free(self):
+        machine = MultiGPUMachine(n_gpus=2)
+        g = TaskGraph()
+        h2d = g.new_task("h2d", "transfer", transfer=machine.h2d(0, 128.0))
+        staged = g.new_object(128.0, name="staged", producer=h2d)
+        k = g.new_task("k", "kernel", profile=profile(), pin=0, inputs=[staged])
+        result = g.new_object(64.0, name="result", producer=k)
+        g.new_task("d2h", "transfer", transfer=machine.d2h(0, 64.0), inputs=[result])
+        assert analyze_graph(g, machine) == []
+
+    def test_su_update_graph_is_hazard_free(self, tiny_ratings):
+        solver = ScaleUpALS(
+            ALSConfig(f=8, iterations=1, seed=0),
+            n_gpus=4,
+            force_data_parallel=True,
+            q_override=2,
+        )
+        theta = np.zeros((tiny_ratings.train.shape[1], 8))
+        graph, _ = solver.build_update_graph(tiny_ratings.train, theta, label="x")
+        assert [h for h in analyze_graph(graph, solver.machine) if h.severity == "error"] == []
+
+    def test_mo_update_graph_is_hazard_free(self, tiny_ratings):
+        solver = MemoryOptimizedALS(ALSConfig(f=8, iterations=1, seed=0))
+        theta = np.zeros((tiny_ratings.train.shape[1], 8))
+        graph, _ = solver.build_update_graph(tiny_ratings.train, theta, label="x")
+        assert [h for h in analyze_graph(graph, solver.machine) if h.severity == "error"] == []
+
+
+class TestCheckGraphAndExecuteVerify:
+    def racy_graph(self) -> TaskGraph:
+        g = TaskGraph()
+        writer = g.new_task("writer", "compute")
+        obj = g.new_object(8.0, name="payload")
+        writer.outputs.append(obj)
+        g.new_task("reader", "compute", inputs=[obj])
+        return g
+
+    def test_check_graph_raises_listing_every_error(self):
+        g = self.racy_graph()
+        g.new_task("k", "kernel", profile=profile(), pin=7)
+        with pytest.raises(HazardError, match=r"\[RAW\]") as excinfo:
+            check_graph(g, MultiGPUMachine(n_gpus=1))
+        assert {h.rule for h in excinfo.value.hazards} == {"RAW", "PIN"}
+        assert "2 hazard(s)" in str(excinfo.value)
+
+    def test_execute_graph_verify_rejects_racy_graph(self):
+        with pytest.raises(HazardError, match=r"\[RAW\]"):
+            execute_graph(self.racy_graph(), MultiGPUMachine(n_gpus=1), "serial", verify=True)
+
+    def test_execute_graph_verify_accepts_clean_graph(self):
+        machine = MultiGPUMachine(n_gpus=1)
+        g = TaskGraph()
+        h2d = g.new_task("h2d", "transfer", transfer=machine.h2d(0, 128.0))
+        staged = g.new_object(128.0, name="staged", producer=h2d)
+        g.new_task("k", "kernel", profile=profile(), pin=0, inputs=[staged])
+        trace = execute_graph(g, machine, "serial", verify=True)
+        assert len(trace.events) == 2
+
+
+class TestValidateAggregation:
+    def test_all_violations_reported_in_one_error(self):
+        g = TaskGraph()
+        g.new_task("weird", "teleport")
+        g.new_task("bare", "kernel")
+        g.new_task("rushed", "compute", seconds=-1.0)
+        with pytest.raises(ValueError) as excinfo:
+            g.validate()
+        message = str(excinfo.value)
+        assert "3 problems" in message
+        assert "unknown kind" in message
+        assert "needs a KernelProfile" in message
+        assert "negative duration" in message
+
+    def test_single_violation_keeps_the_bare_message(self):
+        g = TaskGraph()
+        g.new_task("bare", "kernel")
+        with pytest.raises(ValueError) as excinfo:
+            g.validate()
+        assert "problems" not in str(excinfo.value)
