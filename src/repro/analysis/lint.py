@@ -3,7 +3,7 @@
 Generic linters cannot know that this repo simulates time, swaps its
 observability registry, or routes registry errors through one shared
 vocabulary — invariants CHANGES.md shows were policed by hand, PR after
-PR.  ``reprolint`` makes them mechanical.  Six rules:
+PR.  ``reprolint`` makes them mechanical.  Eight rules:
 
 ======= ====================== ==================================================
 rule    name                   invariant
@@ -22,6 +22,10 @@ REP005  registry-mutation      registry dicts (``_REGISTRY`` / ``_ALIASES``)
                                their own module
 REP006  protocol-isinstance    no ``isinstance`` forks against the
                                ``ServingBackend`` / ``Router`` protocols
+REP007  global-seed            no global ``np.random.seed`` / ``random.seed``
+                               seeding — solvers and traces take ``seed=``
+REP008  sleep                  no ``time.sleep`` anywhere — waiting is either
+                               simulated (SimClock) or event-driven
 ======= ====================== ==================================================
 
 Findings can be narrowed with ``--select`` / ``--ignore`` (comma lists of
@@ -53,6 +57,8 @@ LINT_RULES = {
     "REP004": "module-level observability capture; call obs.get_registry()/get_tracer() at use time",
     "REP005": "registry dict mutated outside its module's register_* functions",
     "REP006": "isinstance fork against a runtime protocol (ServingBackend/Router)",
+    "REP007": "global RNG seeding (np.random.seed / random.seed); pass seed= explicitly",
+    "REP008": "time.sleep call; wait on the simulated clock or an event, never the host",
 }
 
 #: Module paths whose time is simulated: wall-clock reads are a bug here.
@@ -161,7 +167,31 @@ class _Linter(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _WALL_CLOCK_NAMES or alias.name == "time":
                     self.report("REP001", node, f"importing time.{alias.name} into a simulated-path module; use SimClock")
+        if node.module in ("random", "numpy.random"):
+            for alias in node.names:
+                if alias.name == "seed":
+                    self.report("REP007", node, f"importing {node.module}.seed; pass seed= to the solver/trace instead of seeding globally")
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    self.report("REP008", node, "importing time.sleep; wait on the simulated clock or an event, never the host")
         self.generic_visit(node)
+
+    # -- REP007/REP008: global seeding and host sleeps --------------------- #
+    def _check_seed_and_sleep(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "seed":
+            value = func.value
+            # np.random.seed / numpy.random.seed — any `<mod>.random.seed`.
+            if isinstance(value, ast.Attribute) and value.attr == "random":
+                self.report("REP007", node, f"global {ast.unparse(func)}() seeding; pass seed= to the solver/trace instead")
+            # stdlib random.seed.
+            elif isinstance(value, ast.Name) and value.id == "random":
+                self.report("REP007", node, "global random.seed() seeding; pass seed= to the solver/trace instead")
+        elif func.attr == "sleep" and isinstance(func.value, ast.Name) and func.value.id == "time":
+            self.report("REP008", node, "time.sleep() blocks the host; wait on the simulated clock or an event instead")
 
     # -- REP002: closures over loop variables ---------------------------- #
     def _check_loop_closure(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
@@ -270,6 +300,7 @@ class _Linter(ast.NodeVisitor):
         self._check_wall_clock(node)
         self._check_module_capture(node)
         self._check_protocol_isinstance(node)
+        self._check_seed_and_sleep(node)
         if isinstance(node.func, ast.Attribute) and node.func.attr in _REGISTRY_MUTATORS:
             name = self._registry_dict_name(node.func.value)
             if name and not self._mutation_allowed(node.func.value):
@@ -394,7 +425,7 @@ def _parse_rules(raw: str | None) -> set[str] | None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
-    parser = argparse.ArgumentParser(prog="reprolint", description="project-invariant lint pass (rules REP001-REP006)")
+    parser = argparse.ArgumentParser(prog="reprolint", description="project-invariant lint pass (rules REP001-REP008)")
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint (default: src)")
     parser.add_argument("--select", help="comma-separated rule ids to enable (default: all)")
     parser.add_argument("--ignore", help="comma-separated rule ids to disable")

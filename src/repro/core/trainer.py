@@ -220,11 +220,22 @@ class CuMF:
         store_kwargs = dict(
             n_shards=config.n_shards, score_dtype=config.score_dtype, version=version_label
         )
+        store_cls = FactorStore
+        if config.cache is not None:
+            from repro.serving.cache import TieredFactorStore
+
+            store_cls = TieredFactorStore
+            store_kwargs["cache"] = config.cache
         if config.replicas == 1:
-            backend = FactorStore.from_result(result, log=log, **store_kwargs)
+            backend = store_cls.from_result(result, log=log, **store_kwargs)
         else:
             backend = ServingCluster.from_result(
-                result, config.replicas, router=config.router, log=log, **store_kwargs
+                result,
+                config.replicas,
+                router=config.router,
+                store_cls=store_cls,
+                log=log,
+                **store_kwargs,
             )
         return RecommenderService(
             backend,

@@ -52,8 +52,26 @@ package is that missing online half:
   :class:`TenantScheduler` in front of the router, overload shedding
   with typed ``shed``/``degraded`` envelopes, and per-tenant
   :class:`TenantReport` s on :class:`TrafficReport.per_tenant`.
+* :mod:`~repro.serving.cache` — the heat-aware multi-tier factor cache:
+  a decaying :class:`HeatSketch` scores items from the query stream, a
+  :class:`PageTable` maps item-factor pages to simulated GPU-hot /
+  host-warm / disk-cold tiers with version stamps, a pure
+  :class:`CachePlanner` emits coalesced promotion/demotion waves under
+  byte capacities, and :class:`TieredFactorStore` fronts the store with
+  accounted spill misses and lifecycle-composed invalidation — enabled
+  via ``ServingConfig(cache=CacheConfig(...))``.
 """
 
+from repro.serving.cache import (
+    CacheConfig,
+    CachePlan,
+    CachePlanner,
+    CacheStats,
+    HeatSketch,
+    PageTable,
+    TieredFactorStore,
+    Wave,
+)
 from repro.serving.cluster import (
     LeastLoadedRouter,
     PowerOfTwoRouter,
@@ -112,6 +130,14 @@ __all__ = [
     "ServingBackend",
     "ServingConfig",
     "ShedError",
+    "CacheConfig",
+    "CachePlan",
+    "CachePlanner",
+    "CacheStats",
+    "HeatSketch",
+    "PageTable",
+    "TieredFactorStore",
+    "Wave",
     "FactorStore",
     "ServingStats",
     "ServingCluster",

@@ -1,0 +1,42 @@
+"""Heat-aware multi-tier factor cache for the serving tier.
+
+Four pieces, plan-then-execute:
+
+* :class:`~repro.serving.cache.heat.HeatSketch` — decaying per-item hit
+  counter fed by the live query stream (simulated clock).
+* :class:`~repro.serving.cache.pages.PageTable` — item-factor pages
+  mapped to simulated GPU-hot / host-warm / disk-cold tiers, each page
+  stamped with the snapshot version it was cached from.
+* :class:`~repro.serving.cache.planner.CachePlanner` — pure planner
+  turning page heat into coalesced promotion/demotion
+  :class:`~repro.serving.cache.planner.Wave`\\ s under byte capacities.
+* :class:`~repro.serving.cache.tiered.TieredFactorStore` — the
+  :class:`~repro.serving.store.FactorStore` front that demands pages on
+  the top-k path, charges misses and waves to the simulated machine,
+  and invalidates on ``swap_snapshot``/``grow_items``.
+
+Enable it by putting a :class:`~repro.serving.cache.config.CacheConfig`
+on ``ServingConfig(cache=...)``; ``CuMF.serve`` then builds tiered
+stores instead of plain ones.
+"""
+
+from repro.serving.cache.config import CacheConfig
+from repro.serving.cache.heat import HeatSketch
+from repro.serving.cache.pages import TIER_COLD, TIER_HOT, TIER_NAMES, TIER_WARM, PageTable
+from repro.serving.cache.planner import CachePlan, CachePlanner, Wave
+from repro.serving.cache.tiered import CacheStats, TieredFactorStore
+
+__all__ = [
+    "CacheConfig",
+    "CachePlan",
+    "CachePlanner",
+    "CacheStats",
+    "HeatSketch",
+    "PageTable",
+    "TieredFactorStore",
+    "TIER_COLD",
+    "TIER_HOT",
+    "TIER_NAMES",
+    "TIER_WARM",
+    "Wave",
+]

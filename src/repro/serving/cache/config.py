@@ -1,0 +1,120 @@
+"""Declarative configuration of the heat-aware multi-tier factor cache.
+
+:class:`CacheConfig` is the one knob surface of
+:mod:`repro.serving.cache`: tier capacities (GPU-hot in bytes or as a
+fraction of the full factor-page set, host-warm optionally bounded,
+disk-cold unbounded), the factor-page granularity, the heat sketch's
+decay half-life, the planner cadence and per-window transfer budget,
+and the cold tier's latency/bandwidth model.  It rides on
+:class:`~repro.serving.service.config.ServingConfig` as the ``cache``
+field, so ``CuMF.serve(ServingConfig(cache=CacheConfig(...)))`` stands
+up a :class:`~repro.serving.cache.tiered.TieredFactorStore` (or a
+cluster of them) instead of plain stores.
+
+All times are **simulated seconds** — the cache lives on the same
+simulated machine clock as the kernels it sits in front of.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.validation import require
+
+__all__ = ["CacheConfig"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Everything a :class:`TieredFactorStore` needs to build its tiers.
+
+    Parameters
+    ----------
+    hot_bytes, hot_fraction:
+        Capacity of the simulated GPU-hot tier — absolute bytes, or a
+        fraction of the total factor-page bytes (resolved per snapshot,
+        so the capacity tracks ``grow_items``).  At most one may be
+        given; with neither, the hot tier defaults to 10% resident.
+    warm_bytes:
+        Capacity of the host-warm tier in bytes; ``None`` (default)
+        leaves host memory unbounded and the disk-cold tier only holds
+        pages that were never touched.
+    page_items:
+        Item rows per factor page — the promotion/eviction granule.
+    half_life_s:
+        Exponential-decay half-life of the heat sketch, in simulated
+        seconds: an item's heat halves after this much idle time.
+    plan_window_s:
+        Planner cadence: promotion/demotion waves are planned and
+        executed at most once per window of simulated time.
+    max_wave_bytes:
+        Per-wave transfer budget for promotions; ``None`` defaults to a
+        quarter of the hot capacity, so a cold start converges in a few
+        windows without monopolising the PCIe link.
+    hysteresis:
+        A challenger page must beat an incumbent hot page's heat by
+        this factor to displace it (>= 1; damps thrashing near the
+        capacity boundary).
+    cold_latency_s:
+        Per-batch seek latency charged when a query spills to the
+        disk-cold tier.
+    cold_bandwidth_gbs:
+        Streaming bandwidth of the cold tier in GB/s (cold spills pay
+        ``bytes / bandwidth`` on top of the seek and the H2D hop).
+    """
+
+    hot_bytes: int | None = None
+    hot_fraction: float | None = None
+    warm_bytes: int | None = None
+    page_items: int = 64
+    half_life_s: float = 0.5
+    plan_window_s: float = 0.05
+    max_wave_bytes: int | None = None
+    hysteresis: float = 1.1
+    cold_latency_s: float = 1e-4
+    cold_bandwidth_gbs: float = 2.0
+
+    def __post_init__(self) -> None:
+        require(
+            self.hot_bytes is None or self.hot_fraction is None,
+            "give hot_bytes or hot_fraction, not both",
+        )
+        require(self.hot_bytes is None or self.hot_bytes >= 1, "hot_bytes must be at least 1")
+        require(
+            self.hot_fraction is None or 0.0 < self.hot_fraction <= 1.0,
+            "hot_fraction must be in (0, 1]",
+        )
+        require(self.warm_bytes is None or self.warm_bytes >= 1, "warm_bytes must be at least 1")
+        require(self.page_items >= 1, "page_items must be at least 1")
+        require(self.half_life_s > 0, "half_life_s must be positive")
+        require(self.plan_window_s > 0, "plan_window_s must be positive")
+        require(
+            self.max_wave_bytes is None or self.max_wave_bytes >= 1,
+            "max_wave_bytes must be at least 1",
+        )
+        require(self.hysteresis >= 1.0, "hysteresis must be at least 1")
+        require(self.cold_latency_s >= 0, "cold_latency_s must be non-negative")
+        require(self.cold_bandwidth_gbs > 0, "cold_bandwidth_gbs must be positive")
+
+    @classmethod
+    def coerce(cls, value: "CacheConfig | dict | None") -> "CacheConfig | None":
+        """Accept a config, a plain kwargs dict, or ``None`` (disabled)."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls(**value)
+        require(False, f"cache must be a CacheConfig, a dict of its fields or None, got {type(value).__name__}")
+        return None  # pragma: no cover - require() raised
+
+    def hot_capacity(self, total_bytes: int) -> int:
+        """Resolved hot-tier capacity for a factor set of ``total_bytes``."""
+        if self.hot_bytes is not None:
+            return int(self.hot_bytes)
+        fraction = 0.1 if self.hot_fraction is None else self.hot_fraction
+        return int(math.ceil(fraction * total_bytes))
+
+    def wave_budget(self, hot_capacity: int, page_bytes: int) -> int:
+        """Per-wave promotion byte budget (always >= one full page)."""
+        budget = self.max_wave_bytes if self.max_wave_bytes is not None else hot_capacity // 4
+        return max(int(budget), int(page_bytes))

@@ -121,7 +121,14 @@ class ServingCluster:
         return cls([store.replicate() for _ in range(n_replicas)], router=router, log=log)
 
     @classmethod
-    def from_result(cls, result, n_replicas: int, router: Router | str = "least-loaded", **store_kwargs) -> "ServingCluster":
+    def from_result(
+        cls,
+        result,
+        n_replicas: int,
+        router: Router | str = "least-loaded",
+        store_cls: type[FactorStore] = FactorStore,
+        **store_kwargs,
+    ) -> "ServingCluster":
         """Snapshot a finished training run straight into a cluster.
 
         Each replica is built directly from the result (no intermediate
@@ -130,6 +137,9 @@ class ServingCluster:
         must own an independent simulated machine, and a ``log`` is
         attached at the cluster level (never per replica, which would
         record every write-through fold-in once per replica).
+        ``store_cls`` selects the replica class — e.g. the tiered cache
+        front (:class:`~repro.serving.cache.tiered.TieredFactorStore`)
+        when ``ServingConfig.cache`` is set.
         """
         if n_replicas < 1:
             raise ValueError("n_replicas must be at least 1")
@@ -138,7 +148,7 @@ class ServingCluster:
                 "replicas own independent machines; configure n_shards/score_dtype instead"
             )
         log = store_kwargs.pop("log", None)
-        replicas = [FactorStore.from_result(result, **store_kwargs) for _ in range(n_replicas)]
+        replicas = [store_cls.from_result(result, **store_kwargs) for _ in range(n_replicas)]
         return cls(replicas, router=router, log=log)
 
     # ------------------------------------------------------------------ #
@@ -377,8 +387,14 @@ class ServingCluster:
         return sum(rep.stats.queries for rep in self.replicas)
 
     def stats_dict(self) -> dict:
-        """Aggregate + per-replica counters for printing / reports."""
-        return {
+        """Aggregate + per-replica counters for printing / reports.
+
+        When the replicas are tiered cache fronts, their cache counters
+        are summed into one cluster-level ``cache`` block (hit_rate is
+        recomputed from the summed hits/misses, resident bytes summed
+        per tier).
+        """
+        out = {
             "router": self.router.name,
             "n_replicas": self.n_replicas,
             "n_active": self.n_active,
@@ -387,3 +403,24 @@ class ServingCluster:
             "versions": [rep.version for rep in self.replicas],
             "per_replica": [rep.stats.as_dict() for rep in self.replicas],
         }
+        caches = [
+            rep.cache_stats.as_dict()
+            for rep in self.replicas
+            if getattr(rep, "cache_stats", None) is not None
+        ]
+        if caches:
+            agg: dict = {}
+            for block in caches:
+                for key, value in block.items():
+                    agg[key] = agg.get(key, 0) + value
+            total = agg.get("hits", 0) + agg.get("misses", 0)
+            agg["hit_rate"] = agg.get("hits", 0) / total if total else 0.0
+            resident: dict = {}
+            for rep in self.replicas:
+                if getattr(rep, "cache_stats", None) is None:
+                    continue
+                for tier, nbytes in rep.resident_bytes().items():
+                    resident[tier] = resident.get(tier, 0) + nbytes
+            agg["resident_bytes"] = resident
+            out["cache"] = agg
+        return out

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.validation import require
+from repro.serving.cache.config import CacheConfig
 from repro.serving.cluster import Router, make_router
 from repro.serving.lifecycle.log import InteractionLog
 from repro.serving.tenancy import TenantPolicy, TenantPolicyTable
@@ -77,6 +78,15 @@ class ServingConfig:
         enforces per-tenant rate caps on its data plane and runs the
         weighted-fair scheduled replay for tenant-labelled traces.
         ``None`` (default) serves single-tenant with zero overhead.
+    cache:
+        Optional heat-aware factor cache — a
+        :class:`~repro.serving.cache.config.CacheConfig` or a dict of
+        its fields.  When set, every serving unit is a
+        :class:`~repro.serving.cache.tiered.TieredFactorStore`: item
+        factors live in a simulated GPU-hot / host-warm / disk-cold
+        hierarchy, query heat drives promotion waves, and cache counters
+        join :meth:`RecommenderService.stats`.  ``None`` (default)
+        serves from plain stores with zero overhead.
     """
 
     replicas: int = 1
@@ -89,6 +99,7 @@ class ServingConfig:
     tag: str = ""
     ratings: CSRMatrix | None = field(default=None, repr=False)
     tenants: "TenantPolicyTable | TenantPolicy | tuple | list | None" = None
+    cache: "CacheConfig | dict | None" = None
 
     def __post_init__(self) -> None:
         require(self.replicas >= 1, "replicas must be at least 1")
@@ -101,6 +112,9 @@ class ServingConfig:
             make_router(self.router)
         # Same principle for tenant policies: a malformed table fails here.
         TenantPolicyTable.coerce(self.tenants)
+        # And for the cache: a malformed tier configuration fails at
+        # config time; the coerced form is what serve() consumes.
+        self.cache = CacheConfig.coerce(self.cache)
 
     def tenant_table(self) -> TenantPolicyTable | None:
         """The coerced tenant policy table (``None`` when unconfigured)."""

@@ -279,6 +279,12 @@ class TrafficReport:
     ``n_shed`` / ``n_degraded`` totals; aggregate percentiles and
     throughput then cover *served* queries only, since a shed request
     never consumed serving capacity.
+
+    When the serving units are tiered cache fronts
+    (:class:`~repro.serving.cache.tiered.TieredFactorStore`), ``cache``
+    holds the cache counters *accrued during this replay* summed over
+    the units (hits/misses/promotions/..., with ``hit_rate`` recomputed
+    from the deltas); it stays empty for plain stores.
     """
 
     label: str
@@ -305,6 +311,7 @@ class TrafficReport:
     per_tenant: dict = field(default_factory=dict)
     n_shed: int = 0
     n_degraded: int = 0
+    cache: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -352,7 +359,49 @@ class TrafficReport:
             if tenant.deadline_ms is not None:
                 line += f", SLO {tenant.deadline_ms:g} ms: {tenant.n_slo_violations} violations"
             text += line
+        if self.cache:
+            text += (
+                f"\n  cache: hit rate {self.cache.get('hit_rate', 0.0):.0%} "
+                f"({self.cache.get('hits', 0)} hits / {self.cache.get('misses', 0)} misses), "
+                f"{self.cache.get('promotions', 0)} promotions in {self.cache.get('waves', 0)} waves, "
+                f"{self.cache.get('stale_hits', 0)} stale"
+            )
         return text
+
+
+def _cache_snapshot(replicas: Sequence) -> list:
+    """Per-unit cache counters before a replay (``None`` for plain stores)."""
+    return [
+        rep.cache_stats.as_dict() if getattr(rep, "cache_stats", None) is not None else None
+        for rep in replicas
+    ]
+
+
+def _cache_delta(replicas: Sequence, before: list) -> dict:
+    """Cache counters accrued since ``before``, summed over the units.
+
+    Replays read *deltas*, not the raw counters, for the same reason
+    service time does: on a long-lived store the cache may already have
+    history from earlier traffic.
+    """
+    agg: dict = {}
+    found = False
+    for rep, snap in zip(replicas, before):
+        stats = getattr(rep, "cache_stats", None)
+        if stats is None:
+            continue
+        found = True
+        after = stats.as_dict()
+        base = snap if snap is not None else {}
+        for key, value in after.items():
+            if key == "hit_rate":
+                continue
+            agg[key] = agg.get(key, 0) + value - base.get(key, 0)
+    if not found:
+        return {}
+    total = agg.get("hits", 0) + agg.get("misses", 0)
+    agg["hit_rate"] = agg.get("hits", 0) / total if total else 0.0
+    return agg
 
 
 def _publish_report(report: TrafficReport, served: np.ndarray, tenants: np.ndarray | None) -> None:
@@ -467,6 +516,7 @@ class RequestSimulator:
         replicas = list(backend.serving_units())
         backend.reset_routing()
         n_replicas = len(replicas)
+        cache_before = _cache_snapshot(replicas)
         arrivals, users = trace.arrivals, trace.users
         n = trace.n_requests
         pending = sorted(events, key=lambda event: event.time)
@@ -598,6 +648,7 @@ class RequestSimulator:
             window_queries=window_queries,
             window_p95_s=window_p95,
             per_tenant=per_tenant,
+            cache=_cache_delta(replicas, cache_before),
         )
         if obs_on:
             tenants = trace.tenants[:n_served] if trace.tenants is not None else None
@@ -630,6 +681,7 @@ class RequestSimulator:
         replicas = list(backend.serving_units())
         backend.reset_routing()
         n_replicas = len(replicas)
+        cache_before = _cache_snapshot(replicas)
         arrivals, users, tenants = trace.arrivals, trace.users, trace.tenants
         n = trace.n_requests
         pending_events = sorted(events, key=lambda event: event.time)
@@ -854,6 +906,7 @@ class RequestSimulator:
             per_tenant=per_tenant,
             n_shed=int(shed_mask.sum()),
             n_degraded=int((status == STATUS_DEGRADED).sum()),
+            cache=_cache_delta(replicas, cache_before),
         )
         if obs_on:
             _publish_report(report, served, tenants[served_mask])

@@ -222,6 +222,7 @@ class FactorStore:
             kwargs.setdefault("weighted", bool(restored.extras["weighted"]))
         if "version" in restored.extras:
             kwargs.setdefault("version", str(restored.extras["version"]))
+        cls._restore_extras(restored.extras, kwargs)
         store = cls(restored.x, restored.theta, **kwargs)
         if "n_trained_users" in restored.extras:
             n_trained = int(restored.extras["n_trained_users"])
@@ -272,6 +273,7 @@ class FactorStore:
             foldin_indptr=indptr,
             foldin_items=items,
             protected=np.bool_(True),
+            **self._snapshot_extras(),
         )
         # GC superseded store snapshots (recognisable by their fold-in
         # extras) so repeated saves into one directory keep exactly one
@@ -286,6 +288,24 @@ class FactorStore:
             if is_store_snapshot:
                 os.remove(old_path)
         return path
+
+    def _snapshot_extras(self) -> dict:
+        """Extra arrays subclasses persist with :meth:`save` (none here).
+
+        Together with :meth:`_restore_extras` and :meth:`_clone_kwargs`
+        this lets a subclass (e.g. the tiered cache front) round-trip its
+        own configuration through save/load/replicate without overriding
+        the whole methods.
+        """
+        return {}
+
+    @classmethod
+    def _restore_extras(cls, extras: dict, kwargs: dict) -> None:
+        """Turn saved :meth:`_snapshot_extras` back into constructor kwargs."""
+
+    def _clone_kwargs(self) -> dict:
+        """Extra constructor kwargs :meth:`replicate` forwards (none here)."""
+        return {}
 
     def _restore_fold_state(self, n_trained_users: int, folded_items: dict) -> None:
         """Adopt fold-in bookkeeping from a saved or replicated store."""
@@ -324,6 +344,7 @@ class FactorStore:
             score_dtype=self.score_dtype,
             solver=self.solver,
             version=self.version,
+            **self._clone_kwargs(),
         )
         clone._restore_fold_state(
             self._n_trained_users,
@@ -445,8 +466,8 @@ class FactorStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"FactorStore({self.n_users} users x {self.n_items} items, f={self.f}, "
-            f"{self.n_shards} shards)"
+            f"{type(self).__name__}({self.n_users} users x {self.n_items} items, "
+            f"f={self.f}, {self.n_shards} shards)"
         )
 
     # ------------------------------------------------------------------ #

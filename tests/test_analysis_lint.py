@@ -97,8 +97,48 @@ class TestRuleTriggers:
         source = "def dispatch(x):\n    return isinstance(x, (str, ServingBackend))\n"
         assert rules_of(lint_as(source, "src/repro/serving/d.py")) == {"REP006"}
 
+    def test_rep007_global_numpy_seed(self):
+        source = "import numpy as np\n\ndef setup():\n    np.random.seed(42)\n"
+        assert rules_of(lint_as(source, "src/repro/experiments/e.py")) == {"REP007"}
+
+    def test_rep007_global_stdlib_seed_and_seed_import(self):
+        source = "import random\n\ndef setup():\n    random.seed(0)\n"
+        assert rules_of(lint_as(source, "src/repro/experiments/e.py")) == {"REP007"}
+        assert rules_of(lint_as("from numpy.random import seed\n", "src/repro/a.py")) == {"REP007"}
+        assert rules_of(lint_as("from random import seed\n", "src/repro/a.py")) == {"REP007"}
+
+    def test_rep007_explicit_generators_are_clean(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def sample(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.random(3)\n"
+        )
+        assert lint_as(source, "src/repro/experiments/e.py") == []
+
+    def test_rep008_time_sleep_anywhere(self):
+        source = "import time\n\ndef wait():\n    time.sleep(0.1)\n"
+        # "Anywhere" really is anywhere: serving is outside REP001's
+        # simulated-path scope but sleeps are still flagged.
+        assert rules_of(lint_as(source, "src/repro/serving/w.py")) == {"REP008"}
+        assert rules_of(lint_as("from time import sleep\n", "src/repro/serving/w.py")) == {"REP008"}
+
+    def test_rep008_wall_clock_reads_outside_sim_paths_stay_clean(self):
+        source = "import time\n\ndef stamp():\n    return time.perf_counter()\n"
+        assert lint_as(source, "src/repro/serving/w.py") == []
+
     def test_catalogue_is_complete(self):
-        assert set(LINT_RULES) == {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
+        assert set(LINT_RULES) == {
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+            "REP008",
+        }
 
 
 class TestSuppression:
